@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``benchmarks/test_*.py`` regenerates one of the paper's tables or
+figures and prints the paper-style rendering (run with ``-s`` to see
+it), plus microbenchmarks of the computational kernels.
+
+Profile selection: set ``REPRO_PROFILE=paper`` to run at full paper
+scale (8 cores, 19 benchmarks, ~10k maps; several minutes per
+experiment); the default ``fast`` profile reproduces the same shapes on
+a reduced chip in seconds.  EXPERIMENTS.md records the paper-profile
+numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import FAST_SETUP, PAPER_SETUP
+from repro.experiments.data_generation import GeneratedData, generate_dataset
+
+
+def is_paper_profile() -> bool:
+    """True when the full paper-scale profile is selected."""
+    return os.environ.get("REPRO_PROFILE", "fast").lower() == "paper"
+
+
+def active_setup():
+    """The experiment profile selected via REPRO_PROFILE."""
+    profile = os.environ.get("REPRO_PROFILE", "fast").lower()
+    if profile == "paper":
+        return PAPER_SETUP
+    if profile == "fast":
+        return FAST_SETUP
+    raise ValueError(f"unknown REPRO_PROFILE {profile!r}; use 'fast' or 'paper'")
+
+
+@pytest.fixture(scope="session")
+def bench_data() -> GeneratedData:
+    """Train/eval datasets for the selected profile (generated once)."""
+    return generate_dataset(active_setup())
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiment harness measures wall-clock of one full regeneration
+    (these are minutes-scale computations, not microbenchmarks), so a
+    single round is appropriate.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

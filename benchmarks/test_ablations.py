@@ -1,0 +1,40 @@
+"""Bench: run the ablation studies (design-choice justifications).
+
+* GL-coefficient prediction vs OLS refit (paper Section 2.3's bias
+  argument — the refit must win),
+* group lasso vs plain lasso (the grouping must not need *fewer*
+  sensors than its ungrouped counterpart),
+* placement-strategy comparison under a shared OLS predictor.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablations
+
+
+def _run_all(data):
+    return (
+        ablations.run_placement_comparison(data, sensors_per_core=2),
+        ablations.run_gl_bias_ablation(data, budget=0.8),
+        ablations.run_grouping_ablation(data),
+    )
+
+
+def test_ablations(benchmark, bench_data):
+    placement, bias, grouping = run_once(benchmark, _run_all, bench_data)
+
+    print()
+    print(ablations.render_placement_comparison(placement))
+    print()
+    print(ablations.render_gl_bias(bias))
+    print()
+    print(ablations.render_grouping(grouping))
+
+    # Section 2.3: the biased Eq. (14) predictions must be worse.
+    assert bias.gl_error > bias.ols_error
+    # Grouping: plain lasso never uses fewer physical sensors.
+    assert grouping.lasso_sensors >= grouping.gl_sensors
+    # The proposed placement must beat the random control.
+    assert (
+        placement.errors["group lasso (proposed)"]
+        <= placement.errors["random"] * 1.5
+    )

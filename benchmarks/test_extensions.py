@@ -1,0 +1,49 @@
+"""Bench: the paper's sketched extensions, measured.
+
+* FA sensor sites (Section 3.2 closing remark) — accuracy at equal Q
+  with the richer candidate pool must not get worse.
+* Multiple representative nodes per block (Section 2.1) — the model
+  handles K growing r-fold.
+* Package-inductance sensitivity — deeper first droop with larger L.
+"""
+
+from benchmarks.conftest import active_setup, run_once
+from repro.experiments.extensions import (
+    render_fa_sensor,
+    render_multi_node,
+    render_pad_sensitivity,
+    run_fa_sensor_extension,
+    run_multi_node_extension,
+    run_pad_sensitivity,
+)
+
+
+def test_fa_sensor_extension(benchmark):
+    result = run_once(
+        benchmark, run_fa_sensor_extension, active_setup(), sensors_per_core=2
+    )
+    print()
+    print(render_fa_sensor(result))
+    assert result.fa_candidates > result.ba_candidates
+    # The richer pool should not lose accuracy materially at equal Q.
+    assert result.with_fa_error <= result.ba_only_error * 1.5
+
+
+def test_multi_node_extension(benchmark):
+    result = run_once(
+        benchmark, run_multi_node_extension, active_setup(), nodes_per_block=(1, 2)
+    )
+    print()
+    print(render_multi_node(result))
+    assert result.k_values[1] == 2 * result.k_values[0]
+    assert all(e < 0.05 for e in result.errors)
+
+
+def test_pad_sensitivity(benchmark):
+    result = run_once(
+        benchmark, run_pad_sensitivity, active_setup(), inductances=(10e-12, 150e-12)
+    )
+    print()
+    print(render_pad_sensitivity(result))
+    # Larger package inductance deepens the first droop.
+    assert result.worst_droop[-1] <= result.worst_droop[0] + 1e-6

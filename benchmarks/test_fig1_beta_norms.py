@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 1 — ``||beta_m||_2`` per candidate, one core.
+
+Checks the paper's qualitative claims:
+
+* more sensors are selected at the larger lambda,
+* selected and unselected candidates are separated by orders of
+  magnitude in ``||beta_m||_2`` (so the threshold T is uncritical).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig1_beta_norms import render_fig1, run_fig1
+
+
+def test_fig1_beta_norms(benchmark, bench_data):
+    result = run_once(benchmark, run_fig1, bench_data, budgets=(0.5, 2.0))
+
+    print()
+    print(render_fig1(result))
+
+    small, large = result.budgets
+    assert result.selected[small].size <= result.selected[large].size
+    for budget in result.budgets:
+        assert result.selected[budget].size >= 1
+        assert result.separation(budget) > 1e2

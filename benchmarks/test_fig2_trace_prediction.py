@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig. 2 — predicted vs real voltage trace.
+
+Checks the paper's shapes: the predicted trace tracks the simulated one
+closely, and the 7-sensor model is tighter than the 2-sensor model.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig2_trace_prediction import render_fig2, run_fig2
+
+
+def test_fig2_trace_prediction(benchmark, bench_data):
+    result = run_once(
+        benchmark, run_fig2, bench_data, sensor_counts=(2, 7), n_steps=200
+    )
+
+    print()
+    print(render_fig2(result))
+
+    err2, _ = result.errors[2]
+    err7, _ = result.errors[7]
+    assert err7 <= err2 + 1e-9  # more sensors, tighter trace
+    assert err2 < 0.02  # "quite small" even with 2 sensors/core
+    # The trace itself is tracked: mean gap under 10 mV at 7 sensors.
+    gap7 = np.abs(result.predicted[7] - result.real).mean()
+    assert gap7 < 0.01

@@ -1,0 +1,31 @@
+"""Bench: regenerate Fig. 3 — placement maps, proposed vs Eagle-Eye.
+
+Checks the paper's observation: with 7 sensors in one core, Eagle-Eye
+clusters its sensors around the worst-noise (execution) unit while the
+proposed approach spreads sensors across units.
+"""
+
+from benchmarks.conftest import is_paper_profile, run_once
+from repro.experiments.fig3_placement_map import render_fig3, run_fig3
+
+
+def test_fig3_placement_map(benchmark, bench_data):
+    n_sensors = 7 if bench_data.chip.floorplan.n_blocks >= 240 else 3
+    result = run_once(
+        benchmark, run_fig3, bench_data, n_sensors=n_sensors, core_index=0
+    )
+
+    print()
+    print(render_fig3(result))
+
+    assert sum(result.eagle_eye_unit_counts.values()) == n_sensors
+    assert result.proposed_nodes.shape[0] >= 1
+    if is_paper_profile():
+        ee_near = result.eagle_eye_unit_counts.get(result.noisiest_unit, 0)
+        prop_near = result.proposed_unit_counts.get(result.noisiest_unit, 0)
+        # Eagle-Eye concentrates at least as hard on the noisiest unit...
+        assert ee_near >= prop_near
+        # ...and the proposed approach covers at least as many units.
+        assert len(result.proposed_unit_counts) >= len(
+            result.eagle_eye_unit_counts
+        )

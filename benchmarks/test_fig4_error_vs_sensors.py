@@ -1,0 +1,39 @@
+"""Bench: regenerate Fig. 4 — error rates vs sensor count (BM4 analog).
+
+Checks the paper's shapes: the proposed approach's miss error decreases
+as sensors are added and beats (or at worst matches) Eagle-Eye at the
+larger sensor counts.
+"""
+
+import os
+
+import numpy as np
+
+from benchmarks.conftest import is_paper_profile, run_once
+from repro.experiments.fig4_error_vs_sensors import render_fig4, run_fig4
+
+FAST_COUNTS = (1, 2, 4)
+PAPER_COUNTS = (1, 2, 3, 5, 7)
+
+
+def test_fig4_error_vs_sensors(benchmark, bench_data):
+    counts = (
+        PAPER_COUNTS
+        if os.environ.get("REPRO_PROFILE", "fast") == "paper"
+        else FAST_COUNTS
+    )
+    result = run_once(benchmark, run_fig4, bench_data, sensor_counts=counts)
+
+    print()
+    print(render_fig4(result))
+
+    pr_me = [r.miss for r in result.proposed]
+    for rates in result.proposed + result.eagle_eye:
+        assert 0.0 <= rates.total <= 1.0
+    if is_paper_profile():
+        # Weak monotonicity: the largest sensor count is at least as
+        # good as the smallest (single-benchmark points are noisy).
+        assert pr_me[-1] <= pr_me[0] + 0.05
+        # At the largest count the proposed approach is competitive
+        # with or better than Eagle-Eye on miss error.
+        assert pr_me[-1] <= result.eagle_eye[-1].miss + 0.05

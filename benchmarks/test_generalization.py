@@ -1,0 +1,24 @@
+"""Bench: workload-generalization study (extension).
+
+A placement trained on part of the suite must transfer to unseen
+benchmarks: the grid's electrical response is workload-independent, so
+only the workload statistics shift under the fitted linear map.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.generalization import (
+    render_generalization,
+    run_generalization_study,
+)
+
+
+def test_generalization(benchmark, bench_data):
+    result = run_once(benchmark, run_generalization_study, bench_data)
+
+    print()
+    print(render_generalization(result))
+
+    assert result.unseen_error > 0
+    # Transfer must be bounded: unseen error within a small factor of
+    # seen error (the LTI-grid argument).
+    assert result.unseen_error < 5 * result.seen_error

@@ -1,0 +1,72 @@
+"""Performance microbenchmarks of the computational kernels.
+
+These time the pieces a user scales with:
+
+* one transient integration step of the full-chip grid,
+* a constrained group-lasso solve (one core's selection problem),
+* the OLS refit,
+* runtime prediction latency (the paper's point that online evaluation
+  "is computationally cheap").
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.group_lasso import group_lasso_constrained
+from repro.core.ols import fit_ols
+from repro.core.pipeline import PipelineConfig, fit_placement
+from repro.core.normalization import Standardizer
+
+
+@pytest.fixture(scope="module")
+def core_problem(bench_data):
+    """One core's (Z, G) selection problem from the generated data."""
+    ds = bench_data.train
+    core = ds.core_ids[0]
+    cand, blocks = ds.core_view(core)
+    z = Standardizer().fit_transform(ds.X[:, cand])
+    g = Standardizer().fit_transform(ds.F[:, blocks])
+    return z, g
+
+
+def test_bench_transient_step(benchmark, bench_data):
+    solver = bench_data.chip.solver
+    grid = bench_data.chip.grid
+    load = np.full(grid.n_nodes, 50.0 / grid.n_nodes)
+
+    def hundred_steps():
+        return solver.simulate(lambda s: load, n_steps=100)
+
+    result = benchmark(hundred_steps)
+    assert result.n_records == 100
+
+
+def test_bench_group_lasso_constrained(benchmark, core_problem):
+    z, g = core_problem
+
+    def solve():
+        return group_lasso_constrained(z, g, budget=1.0)
+
+    result = benchmark.pedantic(solve, rounds=1, iterations=1)
+    assert result.active_groups(1e-3).size >= 1
+
+
+def test_bench_ols_refit(benchmark, bench_data):
+    ds = bench_data.train
+    cand, blocks = ds.core_view(ds.core_ids[0])
+    X = ds.X[:, cand[:5]]
+    F = ds.F[:, blocks]
+    model = benchmark(fit_ols, X, F)
+    assert model.n_features == X.shape[1]
+
+
+def test_bench_runtime_prediction_latency(benchmark, bench_data):
+    # The deployed operation: one sensor readout -> full voltage map.
+    model = fit_placement(bench_data.train, PipelineConfig(budget=1.0))
+    x = bench_data.eval.X[0]
+
+    def predict_one():
+        return model.predict(x)
+
+    out = benchmark(predict_one)
+    assert out.shape == (1, bench_data.train.n_blocks)

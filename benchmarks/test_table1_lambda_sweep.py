@@ -1,0 +1,40 @@
+"""Bench: regenerate Table 1 — lambda vs sensors vs relative error.
+
+Checks the paper's shapes:
+
+* the number of selected sensors per core grows monotonically with
+  lambda,
+* the aggregated relative prediction error decreases monotonically (to
+  measurement tolerance) as sensors are added,
+* even at the smallest lambda the relative error is below 1e-2.
+"""
+
+import os
+
+from benchmarks.conftest import run_once
+from repro.experiments.table1_lambda_sweep import (
+    DEFAULT_BUDGETS,
+    render_table1,
+    run_table1,
+)
+
+#: Reduced sweep for the fast profile (full DEFAULT_BUDGETS under paper).
+FAST_BUDGETS = (0.5, 1.0, 2.0, 4.0)
+
+
+def test_table1_lambda_sweep(benchmark, bench_data):
+    budgets = (
+        DEFAULT_BUDGETS
+        if os.environ.get("REPRO_PROFILE", "fast") == "paper"
+        else FAST_BUDGETS
+    )
+    result = run_once(benchmark, run_table1, bench_data, budgets=budgets)
+
+    print()
+    print(render_table1(result))
+
+    counts = result.sensors_per_core
+    assert counts == sorted(counts)
+    errors = result.eval_relative_errors
+    assert errors[-1] <= errors[0] + 1e-9
+    assert errors[0] < 1e-2  # the paper's "< 10^-2 even at small lambda"

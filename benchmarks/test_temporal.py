@@ -1,0 +1,41 @@
+"""Bench: temporal-prediction extension (history gain study).
+
+Measures the trace-prediction error as a function of sensor-history
+depth; depth 1 is exactly the paper's instantaneous model, so the study
+quantifies what the paper's formulation leaves on the table.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core import PipelineConfig, fit_placement, history_gain_study
+from repro.experiments.data_generation import simulate_benchmark_trace
+from repro.utils.tables import format_table
+
+
+def _study(data):
+    model = fit_placement(data.train, PipelineConfig(budget=1.0))
+    benchmark_name = data.train.benchmark_names[0]
+    volts, _ = simulate_benchmark_trace(
+        data.chip, benchmark_name, n_steps=400, seed=404
+    )
+    sensors = volts[:, model.sensor_nodes(data.train)]
+    targets = volts[:, data.train.critical_nodes]
+    return history_gain_study(sensors, targets, depths=(1, 2, 4, 8))
+
+
+def test_temporal_history_gain(benchmark, bench_data):
+    points = run_once(benchmark, _study, bench_data)
+
+    print()
+    print(
+        format_table(
+            headers=["history depth", "rel err %"],
+            rows=[[p.depth, f"{100 * p.relative_error:.4f}"] for p in points],
+            title="Extension — sensor-history depth vs trace prediction error",
+        )
+    )
+
+    errs = {p.depth: p.relative_error for p in points}
+    # History must not hurt, and usually helps.
+    assert errs[8] <= errs[1] * 1.1

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: place sensors and predict a full-chip voltage map.
+
+Walks the whole public API end to end on a small chip:
+
+1. generate training voltage maps (floorplan -> workload -> power grid),
+2. select sensors with the constrained group lasso,
+3. refit the OLS prediction model,
+4. predict block voltages on fresh evaluation maps and score accuracy
+   and emergency-detection quality.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import PipelineConfig, fit_placement
+from repro.experiments import FAST_SETUP, generate_dataset
+from repro.voltage.emergencies import any_emergency
+from repro.voltage.metrics import detection_error_rates, mean_relative_error
+
+
+def main() -> None:
+    # 1. Build the chip and simulate the training/evaluation maps.
+    #    FAST_SETUP is a 2-core demo chip; swap in PAPER_SETUP for the
+    #    full 8-core, 19-benchmark reproduction scale.
+    print("generating voltage maps (floorplan -> workload -> grid)...")
+    data = generate_dataset(FAST_SETUP)
+    print(f"  {data.chip.floorplan.summary()}")
+    print(f"  {data.train.summary()}")
+
+    # 2+3. Fit the placement: group-lasso selection at lambda=1.0 per
+    #      core, then the OLS refit on the selected sensors.
+    config = PipelineConfig(budget=1.0)
+    model = fit_placement(data.train, config)
+    print(
+        f"\nplaced {model.n_sensors} sensors "
+        f"(per core: {model.sensors_per_core()})"
+    )
+    for scope in model.scopes:
+        nodes = scope.predictor.sensor_nodes
+        print(f"  core {scope.core_index}: grid nodes {list(map(int, nodes))}")
+
+    # 4. Predict every monitored block's voltage on fresh maps.
+    predicted = model.predict(data.eval.X)
+    rel_err = mean_relative_error(predicted, data.eval.F)
+    print(f"\nprediction relative error on fresh maps: {100 * rel_err:.3f}%")
+
+    worst_gap = np.max(np.abs(predicted - data.eval.F))
+    print(f"worst absolute error: {1000 * worst_gap:.2f} mV")
+
+    # Emergency detection quality at the paper's 0.85*VDD threshold.
+    threshold = FAST_SETUP.chip.emergency_threshold
+    truth = any_emergency(data.eval.F, threshold)
+    rates = detection_error_rates(truth, model.alarm(data.eval.X, threshold))
+    print(
+        f"\nemergency detection (threshold {threshold:.2f} V): "
+        f"ME={rates.miss:.4f} WAE={rates.wrong_alarm:.4f} TE={rates.total:.4f} "
+        f"({rates.n_emergencies}/{rates.n_samples} samples had emergencies)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Sensor-budget tradeoff exploration (the designer's lambda sweep).
+
+The paper's Section 2.4 prescribes sweeping lambda to trade sensor
+count (area/power overhead) against prediction accuracy.  This example
+runs that sweep, prints the tradeoff curve, and shows how a designer
+would pick the smallest budget meeting an accuracy target.
+
+Run with::
+
+    python examples/sensor_budget_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro.core import sweep_lambda
+from repro.experiments import FAST_SETUP, generate_dataset
+from repro.utils.ascii_plot import line_plot
+from repro.utils.tables import format_table
+
+#: Design target: worst acceptable aggregated relative error.
+ACCURACY_TARGET = 0.002  # 0.2 %
+
+
+def main() -> None:
+    data = generate_dataset(FAST_SETUP)
+    budgets = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
+    print(f"sweeping lambda over {budgets} ...")
+    points = sweep_lambda(data.train, budgets=budgets, rng=7)
+
+    rows = [
+        [
+            p.budget,
+            p.n_sensors_total,
+            round(p.sensors_per_core, 2),
+            f"{100 * p.relative_error:.4f}",
+        ]
+        for p in points
+    ]
+    print(
+        format_table(
+            headers=["lambda", "sensors", "sensors/core", "rel err %"],
+            rows=rows,
+            title="sensor budget vs prediction accuracy",
+        )
+    )
+
+    print(
+        line_plot(
+            [p.relative_error for p in points],
+            x=[p.n_sensors_total for p in points],
+            width=60,
+            height=12,
+            title="relative error vs total sensors",
+            y_label="rel err",
+        )
+    )
+
+    # The designer's pick: cheapest placement meeting the target.
+    feasible = [p for p in points if p.relative_error <= ACCURACY_TARGET]
+    if feasible:
+        pick = min(feasible, key=lambda p: p.n_sensors_total)
+        print(
+            f"\nsmallest budget meeting {100 * ACCURACY_TARGET:.2f}% error: "
+            f"lambda={pick.budget:g} -> {pick.n_sensors_total} sensors "
+            f"({100 * pick.relative_error:.4f}%)"
+        )
+    else:
+        print(
+            f"\nno swept budget met the {100 * ACCURACY_TARGET:.2f}% target; "
+            "extend the sweep upward"
+        )
+
+
+if __name__ == "__main__":
+    main()

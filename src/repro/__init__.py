@@ -1,0 +1,35 @@
+"""repro — noise-sensor placement and full-chip voltage map generation.
+
+A from-scratch reproduction of Liu, Sun, Zhou, Li and Qian, "A
+Statistical Methodology for Noise Sensor Placement and Full-Chip
+Voltage Map Generation" (DAC 2015), including every substrate the
+paper's evaluation depends on:
+
+* :mod:`repro.floorplan` — chip geometry, function blocks, FA/BA
+  partitioning (the Xeon-E5-like 8-core evaluation floorplan).
+* :mod:`repro.powergrid` — RC power-grid model with R-L supply pads,
+  DC IR-drop analysis and a sparse backward-Euler transient simulator.
+* :mod:`repro.workload` — synthetic PARSEC-like benchmark suite,
+  activity traces, power gating, and a McPAT-like power model.
+* :mod:`repro.voltage` — voltage maps, training datasets, critical
+  nodes, emergency detection and error-rate metrics.
+* :mod:`repro.core` — the paper's contribution: constrained group
+  lasso for sensor selection and OLS refitting for full-chip voltage
+  prediction.
+* :mod:`repro.baselines` — Eagle-Eye (the paper's comparator) and
+  ablation selectors.
+* :mod:`repro.experiments` — reproductions of every table and figure.
+
+Quickstart::
+
+    from repro.experiments import FAST_SETUP, generate_dataset
+    from repro.core import PipelineConfig, fit_placement
+
+    data = generate_dataset(FAST_SETUP)
+    model = fit_placement(data.train, PipelineConfig(budget=1.0))
+    predicted_block_voltages = model.predict(data.eval.X)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,40 @@
+"""Baseline and ablation placements: Eagle-Eye, worst-noise, random,
+greedy-correlation, and plain (ungrouped) lasso."""
+
+from repro.baselines.correlation_greedy import (
+    fit_correlation_greedy,
+    greedy_correlation_selection,
+)
+from repro.baselines.eagle_eye import (
+    EagleEyeModel,
+    fit_eagle_eye,
+    greedy_coverage_selection,
+)
+from repro.baselines.ols_magnitude import (
+    fit_ols_magnitude,
+    ols_magnitude_selection,
+)
+from repro.baselines.plain_lasso import (
+    PlainLassoResult,
+    lasso_penalized,
+    lasso_select_sensors,
+)
+from repro.baselines.random_placement import fit_random, random_selection
+from repro.baselines.worst_noise import fit_worst_noise, worst_noise_selection
+
+__all__ = [
+    "fit_correlation_greedy",
+    "greedy_correlation_selection",
+    "EagleEyeModel",
+    "fit_eagle_eye",
+    "greedy_coverage_selection",
+    "fit_ols_magnitude",
+    "ols_magnitude_selection",
+    "PlainLassoResult",
+    "lasso_penalized",
+    "lasso_select_sensors",
+    "fit_random",
+    "random_selection",
+    "fit_worst_noise",
+    "worst_noise_selection",
+]

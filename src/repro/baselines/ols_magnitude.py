@@ -1,0 +1,99 @@
+"""OLS-coefficient-magnitude selection — the paper's Section 2.2 pitfall.
+
+"One intuitive idea is to select the sensors with large components in
+alpha ... Unfortunately, this idea may not always work because of the
+complexity in feature selection."  This module implements exactly that
+intuitive idea (fit unconstrained OLS on all normalized candidates,
+rank candidates by their coefficient-column norm, keep the top Q) so
+the failure mode can be measured against group lasso.
+
+Under the strong collinearity of power-grid voltages, unconstrained OLS
+splits weight arbitrarily among near-duplicate candidates, so column
+magnitude stops tracking importance — the effect the paper cites
+Guyon & Elisseeff (2003) for.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.normalization import Standardizer
+from repro.voltage.dataset import VoltageDataset
+from repro.utils.validation import check_integer, check_matrix
+
+__all__ = ["ols_magnitude_selection", "fit_ols_magnitude"]
+
+
+def ols_magnitude_selection(
+    X: np.ndarray, F: np.ndarray, n_sensors: int
+) -> np.ndarray:
+    """Rank candidates by unconstrained-OLS coefficient magnitude.
+
+    Parameters
+    ----------
+    X:
+        ``(N, M)`` raw candidate voltages.
+    F:
+        ``(N, K)`` raw critical-node voltages.
+    n_sensors:
+        Candidates to keep (Q).
+
+    Returns
+    -------
+    np.ndarray
+        The Q columns with the largest ``||alpha_m||_2`` in the full
+        OLS fit on normalized data, sorted.
+    """
+    X = check_matrix(X, "X")
+    F = check_matrix(F, "F", n_rows=X.shape[0])
+    check_integer(n_sensors, "n_sensors", minimum=1)
+    if n_sensors > X.shape[1]:
+        raise ValueError(
+            f"cannot select {n_sensors} sensors from {X.shape[1]} candidates"
+        )
+    z = Standardizer().fit_transform(X)
+    g = Standardizer().fit_transform(F)
+    coef, *_ = np.linalg.lstsq(z, g, rcond=None)  # (M, K)
+    magnitudes = np.linalg.norm(coef, axis=1)
+    order = np.argsort(magnitudes)[::-1]
+    return np.sort(order[:n_sensors].astype(np.int64))
+
+
+def fit_ols_magnitude(
+    dataset: VoltageDataset, n_sensors: int, per_core: bool = True
+) -> np.ndarray:
+    """OLS-magnitude placement over a dataset.
+
+    Parameters
+    ----------
+    dataset:
+        Training data.
+    n_sensors:
+        Sensors per core (per-core mode) or total (global mode).
+    per_core:
+        Select within each core's candidates against that core's
+        blocks.
+
+    Returns
+    -------
+    np.ndarray
+        Selected candidate columns in dataset X indexing, sorted.
+    """
+    if not per_core:
+        return ols_magnitude_selection(dataset.X, dataset.F, n_sensors)
+    cols: List[np.ndarray] = []
+    for core in dataset.core_ids:
+        candidate_cols, block_cols = dataset.core_view(core)
+        if block_cols.size == 0:
+            continue
+        if candidate_cols.size == 0:
+            raise ValueError(f"core {core} has no sensor candidates")
+        local = ols_magnitude_selection(
+            dataset.X[:, candidate_cols], dataset.F[:, block_cols], n_sensors
+        )
+        cols.append(candidate_cols[local])
+    if not cols:
+        raise ValueError("dataset has no cores with blocks")
+    return np.sort(np.concatenate(cols))

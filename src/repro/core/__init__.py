@@ -1,0 +1,59 @@
+"""The paper's core methodology: group-lasso placement + OLS prediction.
+
+Public entry points:
+
+* :func:`repro.core.selection.select_sensors` — Steps 3-5 (normalize,
+  constrained group lasso, threshold).
+* :class:`repro.core.predictor.VoltagePredictor` — Steps 6-8 (OLS refit
+  and runtime prediction).
+* :func:`repro.core.pipeline.fit_placement` — the whole Section 2.4
+  flow on a :class:`~repro.voltage.dataset.VoltageDataset`.
+* :func:`repro.core.lambda_sweep.sweep_lambda` — the Table 1 tradeoff
+  sweep.
+"""
+
+from repro.core.group_lasso import (
+    GroupLassoResult,
+    group_lasso_constrained,
+    group_lasso_penalized,
+)
+from repro.core.lambda_sweep import SweepPoint, sweep_lambda
+from repro.core.normalization import Standardizer
+from repro.core.ols import LinearModel, fit_ols
+from repro.core.pipeline import (
+    PipelineConfig,
+    PlacementModel,
+    ScopeModel,
+    fit_placement,
+)
+from repro.core.predictor import GLCoefficientPredictor, VoltagePredictor
+from repro.core.selection import DEFAULT_THRESHOLD, SelectionResult, select_sensors
+from repro.core.serialization import load_placement, save_placement
+from repro.core.spacing import enforce_min_spacing
+from repro.core.temporal import TemporalPredictor, history_gain_study, stack_history
+
+__all__ = [
+    "GroupLassoResult",
+    "group_lasso_constrained",
+    "group_lasso_penalized",
+    "SweepPoint",
+    "sweep_lambda",
+    "Standardizer",
+    "LinearModel",
+    "fit_ols",
+    "PipelineConfig",
+    "PlacementModel",
+    "ScopeModel",
+    "fit_placement",
+    "GLCoefficientPredictor",
+    "VoltagePredictor",
+    "DEFAULT_THRESHOLD",
+    "SelectionResult",
+    "select_sensors",
+    "load_placement",
+    "save_placement",
+    "enforce_min_spacing",
+    "TemporalPredictor",
+    "history_gain_study",
+    "stack_history",
+]

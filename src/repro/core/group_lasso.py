@@ -1,0 +1,473 @@
+"""Multi-response group lasso for sensor selection (paper Section 2.2).
+
+The paper selects sensors by solving
+
+.. math::
+
+    \\min_\\beta \\; \\|G - \\beta Z\\|_F \\quad
+    \\text{s.t.} \\; \\sum_{m=1}^M \\|\\beta_m\\|_2 \\le \\lambda
+
+where each *group* :math:`\\beta_m` is the column of coefficients tying
+candidate sensor *m* to all K responses; the constraint drives entire
+columns to zero, so the surviving columns identify the important
+sensors.
+
+This module implements the problem from scratch (no sklearn):
+
+* :func:`group_lasso_penalized` solves the equivalent Lagrangian form
+  ``min 1/2 ||G - Z B^T||_F^2 + mu * sum_m ||B_m||_2`` by block
+  coordinate descent with exact closed-form group updates (features are
+  expected standardized, but the solver handles general scaling).
+* :func:`group_lasso_constrained` recovers the paper's budget form by a
+  monotone bisection on ``mu`` such that ``sum_m ||B_m||_2`` meets the
+  budget ``lambda`` — Lagrangian duality makes the mapping monotone.
+
+Unlike the interior-point SOCP solver the paper references, coordinate
+descent returns *exactly* zero columns for unselected sensors, so the
+selection threshold T separates selected from unselected sensors by
+construction (the paper's Fig. 1 shows the same separation with tiny
+numerical residues instead of exact zeros).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_matrix, check_non_negative, check_positive
+
+__all__ = ["GroupLassoResult", "group_lasso_penalized", "group_lasso_constrained"]
+
+
+@dataclass
+class GroupLassoResult:
+    """Solution of a group-lasso fit.
+
+    Attributes
+    ----------
+    coef:
+        ``(K, M)`` coefficient matrix (the paper's beta); column ``m``
+        holds sensor ``m``'s coefficients for all K responses.
+    penalty:
+        The Lagrangian penalty ``mu`` the solution corresponds to.
+    budget:
+        The constraint value ``lambda`` when solved in constrained form
+        (``None`` for direct penalized solves).
+    objective:
+        Final penalized objective value.
+    n_iterations:
+        Block-coordinate sweeps performed.
+    converged:
+        Whether the sweep-to-sweep tolerance was met.
+    """
+
+    coef: np.ndarray
+    penalty: float
+    budget: Optional[float] = None
+    objective: float = float("nan")
+    n_iterations: int = 0
+    converged: bool = True
+
+    def group_norms(self) -> np.ndarray:
+        """``(M,)`` column norms ``||beta_m||_2`` (the Fig. 1 quantity)."""
+        return np.linalg.norm(self.coef, axis=0)
+
+    def norm_sum(self) -> float:
+        """``sum_m ||beta_m||_2`` — the constrained form's budget usage."""
+        return float(self.group_norms().sum())
+
+    def active_groups(self, threshold: float = 0.0) -> np.ndarray:
+        """Indices of groups with ``||beta_m||_2 > threshold``, sorted."""
+        check_non_negative(threshold, "threshold")
+        return np.nonzero(self.group_norms() > threshold)[0]
+
+
+def _prepare(Z: np.ndarray, G: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """Validate inputs and compute the sufficient statistics.
+
+    Returns ``(S, A, diag_S, gram_G)`` with ``S = Z^T Z`` (M, M),
+    ``A = Z^T G`` (M, K), and ``gram_G = tr(G^T G)``.
+    """
+    Z = check_matrix(Z, "Z")
+    G = check_matrix(G, "G", n_rows=Z.shape[0])
+    S = Z.T @ Z
+    A = Z.T @ G
+    return S, A, np.diag(S).copy(), float(np.sum(G * G))
+
+
+def _objective(
+    B: np.ndarray,
+    S: np.ndarray,
+    A: np.ndarray,
+    gram_G: float,
+    mu: float,
+    active: np.ndarray,
+) -> float:
+    """Penalized objective from sufficient statistics (active groups only)."""
+    if active.size == 0:
+        return 0.5 * gram_G
+    Ba = B[:, active]
+    Sa = S[np.ix_(active, active)]
+    Aa = A[active, :]
+    fit = gram_G - 2.0 * float(np.sum(Ba * Aa.T)) + float(np.sum((Ba @ Sa) * Ba))
+    return 0.5 * fit + mu * float(np.linalg.norm(Ba, axis=0).sum())
+
+
+def _sweep(
+    B: np.ndarray,
+    groups: np.ndarray,
+    S: np.ndarray,
+    A: np.ndarray,
+    diag_S: np.ndarray,
+    mu: float,
+) -> float:
+    """One pass of block updates over ``groups``; returns max coef change."""
+    max_delta = 0.0
+    active_mask = np.linalg.norm(B, axis=0) > 0
+    active_idx = np.nonzero(active_mask)[0]
+    for m in groups:
+        s_mm = diag_S[m]
+        if s_mm <= 1e-15:
+            # Constant/empty feature: it cannot explain anything.
+            if active_mask[m]:
+                B[:, m] = 0.0
+                active_mask[m] = False
+                active_idx = np.nonzero(active_mask)[0]
+            continue
+        # Residual correlation c_m = A[m] - sum_{j != m} B_j * S[j, m].
+        if active_idx.size:
+            c = A[m] - B[:, active_idx] @ S[active_idx, m]
+        else:
+            c = A[m].copy()
+        if active_mask[m]:
+            c = c + B[:, m] * s_mm
+        norm_c = float(np.linalg.norm(c))
+        if norm_c <= mu:
+            new_col = np.zeros(B.shape[0])
+        else:
+            new_col = (1.0 - mu / norm_c) * c / s_mm
+        delta = float(np.max(np.abs(new_col - B[:, m]))) if B.shape[0] else 0.0
+        if delta > 0:
+            B[:, m] = new_col
+            now_active = bool(np.any(new_col))
+            if now_active != active_mask[m]:
+                active_mask[m] = now_active
+                active_idx = np.nonzero(active_mask)[0]
+        max_delta = max(max_delta, delta)
+    return max_delta
+
+
+def _spectral_bound(S: np.ndarray, n_iter: int = 80, seed: int = 0) -> float:
+    """Upper bound on the largest eigenvalue of the PSD matrix S.
+
+    Power iteration with a small safety factor; cheap and sufficient
+    for a FISTA step size.
+    """
+    n = S.shape[0]
+    if n == 0:
+        return 1.0
+    rng = np.random.default_rng(seed)
+    v = rng.normal(size=n)
+    v /= np.linalg.norm(v)
+    lam = 1.0
+    for _ in range(n_iter):
+        w = S @ v
+        norm = float(np.linalg.norm(w))
+        if norm == 0.0:
+            return 1.0
+        lam = norm
+        v = w / norm
+    return 1.05 * lam
+
+
+def _fista(
+    B: np.ndarray,
+    S: np.ndarray,
+    AT: np.ndarray,
+    mu: float,
+    max_iter: int,
+    tol: float,
+) -> Tuple[np.ndarray, int, bool]:
+    """FISTA with adaptive restart for the penalized group lasso.
+
+    Minimizes ``f(B) = 1/2 tr(B S B^T) - tr(B A) + mu * sum ||B_m||``
+    (the data-independent constant dropped).  ``AT`` is ``A^T`` with
+    shape (K, M).  All group proximal updates are vectorized, so each
+    iteration is a handful of BLAS calls regardless of M — this is what
+    makes the highly correlated voltage features tractable.
+    """
+    L = _spectral_bound(S)
+    step = 1.0 / L
+    Y = B.copy()
+    B_prev = B.copy()
+    t_prev = 1.0
+    converged = False
+    iterations = 0
+    for it in range(max_iter):
+        iterations = it + 1
+        grad = Y @ S - AT
+        W = Y - step * grad
+        norms = np.linalg.norm(W, axis=0)
+        shrink = np.maximum(0.0, 1.0 - (mu * step) / np.maximum(norms, 1e-300))
+        B_new = W * shrink[np.newaxis, :]
+
+        t_new = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t_prev * t_prev))
+        momentum = (t_prev - 1.0) / t_new
+        delta = B_new - B
+        # Adaptive restart (gradient scheme): if the momentum direction
+        # opposes the progress direction, reset it.
+        if float(np.sum((Y - B_new) * delta)) > 0.0:
+            t_new = 1.0
+            Y = B_new.copy()
+        else:
+            Y = B_new + momentum * delta
+        B_prev = B
+        B = B_new
+        t_prev = t_new
+
+        scale = max(1.0, float(np.max(np.abs(B))) if B.size else 1.0)
+        if float(np.max(np.abs(delta))) <= tol * scale:
+            converged = True
+            break
+    return B, iterations, converged
+
+
+def group_lasso_penalized(
+    Z: np.ndarray,
+    G: np.ndarray,
+    mu: float,
+    max_iter: int = 20000,
+    tol: float = 1e-7,
+    warm_start: Optional[np.ndarray] = None,
+    method: str = "fista",
+) -> GroupLassoResult:
+    """Solve ``min 1/2 ||G - Z B^T||_F^2 + mu * sum_m ||B_m||_2``.
+
+    Parameters
+    ----------
+    Z:
+        ``(N, M)`` feature matrix (normalized candidate voltages,
+        samples first).
+    G:
+        ``(N, K)`` response matrix (normalized critical voltages).
+    mu:
+        Group penalty weight (>= 0; 0 reduces to OLS on all features).
+    max_iter:
+        Iteration cap (FISTA iterations or coordinate sweeps).
+    tol:
+        Convergence threshold on the largest coefficient change per
+        iteration, relative to the largest coefficient magnitude.
+    warm_start:
+        Optional ``(K, M)`` initial coefficients (e.g. the solution at
+        a nearby ``mu``), which makes penalty sweeps dramatically
+        faster.
+    method:
+        ``"fista"`` (default) — accelerated proximal gradient with all
+        group updates vectorized; robust to the near-collinear features
+        power-grid voltages produce.  ``"bcd"`` — classic block
+        coordinate descent with exact closed-form block updates; exact
+        sparsity, but slow when many correlated groups are active.
+
+    Returns
+    -------
+    GroupLassoResult
+
+    Notes
+    -----
+    Both methods solve the same convex problem; tests cross-validate
+    them against each other.  FISTA leaves tiny (sub-``tol``) residues
+    on inactive groups, which are zeroed before returning so both
+    methods report exact group sparsity.
+    """
+    check_non_negative(mu, "mu")
+    if max_iter < 1:
+        raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+    check_positive(tol, "tol")
+    if method not in ("fista", "bcd"):
+        raise ValueError(f"unknown method {method!r}; use 'fista' or 'bcd'")
+    S, A, diag_S, gram_G = _prepare(Z, G)
+    n_features = S.shape[0]
+    n_responses = A.shape[1]
+
+    if warm_start is not None:
+        B = np.array(warm_start, dtype=float, copy=True)
+        if B.shape != (n_responses, n_features):
+            raise ValueError(
+                f"warm_start must be ({n_responses}, {n_features}), got {B.shape}"
+            )
+    else:
+        B = np.zeros((n_responses, n_features))
+
+    if method == "fista":
+        B, sweeps, converged = _fista(B, S, A.T.copy(), mu, max_iter, tol)
+        # Zero out sub-threshold residues so inactive groups are exactly
+        # zero, matching the BCD sparsity pattern.  At the optimum,
+        # inactive groups satisfy ||grad_m|| <= mu strictly; their FISTA
+        # residues are O(tol) while active groups are O(1).
+        if mu > 0:
+            norms = np.linalg.norm(B, axis=0)
+            scale = max(1.0, float(norms.max()) if norms.size else 1.0)
+            B[:, norms <= 10.0 * tol * scale] = 0.0
+    else:
+        all_groups = np.arange(n_features)
+        converged = False
+        sweeps = 0
+        while sweeps < max_iter:
+            # Full sweep: may activate/deactivate any group.
+            delta = _sweep(B, all_groups, S, A, diag_S, mu)
+            sweeps += 1
+            scale = max(1.0, float(np.max(np.abs(B))) if B.size else 1.0)
+            if delta <= tol * scale:
+                converged = True
+                break
+            # Inner sweeps on the active set only (cheap).
+            while sweeps < max_iter:
+                active = np.nonzero(np.linalg.norm(B, axis=0) > 0)[0]
+                if active.size == 0:
+                    break
+                delta = _sweep(B, active, S, A, diag_S, mu)
+                sweeps += 1
+                scale = max(1.0, float(np.max(np.abs(B))))
+                if delta <= tol * scale:
+                    break
+
+    active = np.nonzero(np.linalg.norm(B, axis=0) > 0)[0]
+    return GroupLassoResult(
+        coef=B,
+        penalty=mu,
+        objective=_objective(B, S, A, gram_G, mu, active),
+        n_iterations=sweeps,
+        converged=converged,
+    )
+
+
+def group_lasso_constrained(
+    Z: np.ndarray,
+    G: np.ndarray,
+    budget: float,
+    rtol: float = 1e-2,
+    max_bisections: int = 40,
+    solver_max_iter: int = 20000,
+    solver_tol: float = 1e-7,
+    method: str = "fista",
+) -> GroupLassoResult:
+    """Solve the paper's Eq. (12): minimize the fit subject to
+    ``sum_m ||beta_m||_2 <= budget``.
+
+    Parameters
+    ----------
+    Z, G:
+        Normalized data matrices as in :func:`group_lasso_penalized`.
+    budget:
+        The paper's hyper-parameter ``lambda`` — the total group-norm
+        budget.  Larger budgets admit more sensors.
+    rtol:
+        Relative tolerance on meeting the budget.
+    max_bisections:
+        Maximum bisection steps on the dual penalty.
+    solver_max_iter, solver_tol, method:
+        Passed to the inner penalized solver.
+
+    Returns
+    -------
+    GroupLassoResult
+        With :attr:`GroupLassoResult.budget` set, and
+        :attr:`GroupLassoResult.penalty` the dual ``mu`` found.
+
+    Notes
+    -----
+    ``sum_m ||B_m(mu)||_2`` is non-increasing in ``mu``; bisection on
+    ``mu`` therefore converges to the budget-binding solution.  If even
+    a vanishing penalty uses less than the budget, the constraint is
+    slack and the (essentially unpenalized) solution is returned.
+    """
+    check_positive(budget, "budget")
+    Z = check_matrix(Z, "Z")
+    G = check_matrix(G, "G", n_rows=Z.shape[0])
+
+    # Slack check without coordinate descent: if even the unpenalized
+    # (OLS) solution fits inside the budget, the constraint is inactive.
+    # lstsq handles the highly correlated candidate columns exactly,
+    # where coordinate descent at mu ~ 0 would crawl.
+    ols_coef_t, *_ = np.linalg.lstsq(Z, G, rcond=None)
+    ols_coef = ols_coef_t.T
+    ols_norm_sum = float(np.linalg.norm(ols_coef, axis=0).sum())
+    if ols_norm_sum <= budget * (1.0 + rtol):
+        S, A, _, gram_G = _prepare(Z, G)
+        active = np.arange(Z.shape[1])
+        return GroupLassoResult(
+            coef=ols_coef,
+            penalty=0.0,
+            budget=budget,
+            objective=_objective(ols_coef, S, A, gram_G, 0.0, active),
+            n_iterations=0,
+            converged=True,
+        )
+
+    # At B = 0 each group's activation threshold is ||A[m]||; above the
+    # max no group activates.
+    A = Z.T @ G
+    mu_hi = float(np.max(np.linalg.norm(A, axis=1)))
+    if mu_hi == 0.0:
+        return GroupLassoResult(
+            coef=np.zeros((G.shape[1], Z.shape[1])),
+            penalty=0.0,
+            budget=budget,
+            objective=0.0,
+            n_iterations=0,
+            converged=True,
+        )
+
+    # Downward warm-started path from mu_hi until the budget is
+    # exceeded; solutions along the path stay sparse, so every solve is
+    # cheap.  This brackets the dual penalty without ever touching the
+    # dense small-mu regime.
+    decay = 0.65
+    warm = np.zeros((G.shape[1], Z.shape[1]))
+    hi_mu = mu_hi
+    hi_result: Optional[GroupLassoResult] = None
+    lo_mu = None
+    lo_result = None
+    mu = mu_hi * decay
+    for _ in range(120):
+        result = group_lasso_penalized(
+            Z, G, mu, max_iter=solver_max_iter, tol=solver_tol,
+            warm_start=warm, method=method,
+        )
+        warm = result.coef.copy()
+        if result.norm_sum() > budget:
+            lo_mu, lo_result = mu, result
+            break
+        hi_mu, hi_result = mu, result
+        mu *= decay
+    if lo_mu is None:
+        # Numerically the budget is never exceeded (degenerate data);
+        # return the loosest solution found.
+        final = hi_result if hi_result is not None else group_lasso_penalized(
+            Z, G, hi_mu, max_iter=solver_max_iter, tol=solver_tol, method=method
+        )
+        final.budget = budget
+        return final
+
+    # Bisect [lo_mu, hi_mu]: norm_sum(lo_mu) > budget >= norm_sum(hi_mu).
+    best = hi_result if hi_result is not None else lo_result
+    for _ in range(max_bisections):
+        mid = np.sqrt(lo_mu * hi_mu)
+        result = group_lasso_penalized(
+            Z, G, mid, max_iter=solver_max_iter, tol=solver_tol,
+            warm_start=warm, method=method,
+        )
+        warm = result.coef.copy()
+        used = result.norm_sum()
+        if used > budget:
+            lo_mu = mid
+        else:
+            hi_mu = mid
+            best = result
+        if abs(used - budget) <= rtol * budget:
+            best = result
+            break
+    best.budget = budget
+    return best

@@ -1,0 +1,113 @@
+"""Multi-response ordinary least squares (paper Section 2.3).
+
+After group lasso picks the Q sensors, the paper refits an
+*unconstrained* OLS model on the raw (un-normalized) voltages of just
+those sensors — Eq. (17) — because the GL coefficients are biased by
+the budget constraint and must not be used for prediction (the paper's
+Eq. (15)–(16) example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_matrix
+
+__all__ = ["LinearModel", "fit_ols"]
+
+
+@dataclass
+class LinearModel:
+    """An affine multi-response model ``f ≈ coef @ x + intercept``.
+
+    Attributes
+    ----------
+    coef:
+        ``(K, Q)`` coefficient matrix (the paper's alpha^S).
+    intercept:
+        ``(K,)`` constant terms (the paper's c).
+    feature_indices:
+        Optional bookkeeping: which original columns the Q features
+        correspond to (e.g. selected-candidate indices).
+    """
+
+    coef: np.ndarray
+    intercept: np.ndarray
+    feature_indices: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.coef = np.asarray(self.coef, dtype=float)
+        self.intercept = np.asarray(self.intercept, dtype=float)
+        if self.coef.ndim != 2:
+            raise ValueError("coef must be 2-D (K, Q)")
+        if self.intercept.shape != (self.coef.shape[0],):
+            raise ValueError("intercept must be (K,) matching coef rows")
+        if self.feature_indices is not None:
+            self.feature_indices = np.asarray(self.feature_indices, dtype=np.int64)
+            if self.feature_indices.shape != (self.coef.shape[1],):
+                raise ValueError("feature_indices must have one entry per column")
+
+    @property
+    def n_responses(self) -> int:
+        """K — number of predicted quantities."""
+        return self.coef.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Q — number of input features (selected sensors)."""
+        return self.coef.shape[1]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict responses for ``(N, Q)`` inputs; returns ``(N, K)``.
+
+        A single ``(Q,)`` vector is also accepted and yields ``(K,)``.
+        """
+        X = np.asarray(X, dtype=float)
+        single = X.ndim == 1
+        if single:
+            X = X[np.newaxis, :]
+        if X.shape[1] != self.n_features:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model expects {self.n_features}"
+            )
+        out = X @ self.coef.T + self.intercept
+        return out[0] if single else out
+
+
+def fit_ols(X: np.ndarray, F: np.ndarray) -> LinearModel:
+    """Fit Eq. (17): ``min ||F - alpha X - C||_F`` over alpha and c.
+
+    Parameters
+    ----------
+    X:
+        ``(N, Q)`` raw feature samples (selected-sensor voltages,
+        samples first).
+    F:
+        ``(N, K)`` raw response samples (critical-node voltages).
+
+    Returns
+    -------
+    LinearModel
+        Fitted coefficients and intercepts.
+
+    Notes
+    -----
+    Solved through :func:`numpy.linalg.lstsq` on the mean-centered
+    system, which handles rank-deficient feature sets (e.g. two
+    selected sensors with identical voltages) by returning the
+    minimum-norm solution instead of failing.
+    """
+    X = check_matrix(X, "X")
+    F = check_matrix(F, "F", n_rows=X.shape[0])
+    if X.shape[0] < 2:
+        raise ValueError("need at least 2 samples for OLS")
+
+    x_mean = X.mean(axis=0)
+    f_mean = F.mean(axis=0)
+    coef_t, *_ = np.linalg.lstsq(X - x_mean, F - f_mean, rcond=None)
+    coef = coef_t.T
+    intercept = f_mean - coef @ x_mean
+    return LinearModel(coef=coef, intercept=intercept)

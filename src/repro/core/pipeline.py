@@ -1,0 +1,249 @@
+"""End-to-end placement + prediction pipeline (paper Section 2.4).
+
+Runs Steps 0-8 on a :class:`~repro.voltage.dataset.VoltageDataset`:
+normalize, solve the constrained group lasso at lambda, threshold with
+T, refit OLS on the selected sensors, and package the result as a
+:class:`PlacementModel` that predicts every monitored block's voltage
+from the selected sensors' readings.
+
+Following the paper's experiments, fitting is *per core* by default:
+core ``c``'s sensors are selected among the BA candidates inside core
+``c`` to predict core ``c``'s blocks ("the number of chosen sensors for
+one core", Table 1).  A global mode that pools all candidates and
+blocks is also provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.predictor import VoltagePredictor
+from repro.core.selection import DEFAULT_THRESHOLD, SelectionResult, select_sensors
+from repro.voltage.dataset import VoltageDataset
+from repro.utils.validation import check_positive
+
+__all__ = ["PipelineConfig", "ScopeModel", "PlacementModel", "fit_placement"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Configuration of a placement fit.
+
+    Parameters
+    ----------
+    budget:
+        The paper's lambda, applied per fitting scope (per core in
+        per-core mode, once globally otherwise).
+    threshold:
+        The paper's T for selecting sensors from ``||beta_m||_2``.
+    per_core:
+        Fit one model per core (paper behaviour) or one global model.
+    rtol:
+        Budget-matching tolerance of the constrained GL solver.
+    solver_max_iter, solver_tol, method:
+        Inner solver controls.
+    """
+
+    budget: float
+    threshold: float = DEFAULT_THRESHOLD
+    per_core: bool = True
+    rtol: float = 1e-2
+    solver_max_iter: int = 20000
+    solver_tol: float = 1e-7
+    method: str = "fista"
+
+    def __post_init__(self) -> None:
+        check_positive(self.budget, "budget")
+        check_positive(self.threshold, "threshold")
+
+
+@dataclass
+class ScopeModel:
+    """Placement + predictor for one fitting scope (one core or global).
+
+    Attributes
+    ----------
+    core_index:
+        The core this scope covers (-1 for the global scope).
+    candidate_cols:
+        Columns of the dataset's X this scope could select from.
+    block_cols:
+        Columns of the dataset's F this scope predicts.
+    selection:
+        The group-lasso selection outcome (norms, budget, solution).
+    predictor:
+        The OLS prediction model over the selected sensors.
+    """
+
+    core_index: int
+    candidate_cols: np.ndarray
+    block_cols: np.ndarray
+    selection: SelectionResult
+    predictor: VoltagePredictor
+
+    @property
+    def selected_cols(self) -> np.ndarray:
+        """Selected sensor columns in *dataset* X indexing."""
+        return self.candidate_cols[self.selection.selected]
+
+    @property
+    def n_sensors(self) -> int:
+        """Sensors used by this scope."""
+        return self.selection.n_selected
+
+
+@dataclass
+class PlacementModel:
+    """The fitted monitoring system for a whole chip.
+
+    Attributes
+    ----------
+    scopes:
+        One :class:`ScopeModel` per core (per-core mode) or a single
+        global scope.
+    config:
+        The configuration it was fitted with.
+    n_blocks:
+        Total number of monitored blocks (dataset K).
+    """
+
+    scopes: List[ScopeModel]
+    config: PipelineConfig
+    n_blocks: int
+
+    @property
+    def n_sensors(self) -> int:
+        """Total sensors placed across the chip."""
+        return sum(s.n_sensors for s in self.scopes)
+
+    @property
+    def sensor_candidate_cols(self) -> np.ndarray:
+        """All selected sensor columns, in dataset X indexing, sorted."""
+        if not self.scopes:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate([s.selected_cols for s in self.scopes]))
+
+    def sensor_nodes(self, dataset: VoltageDataset) -> np.ndarray:
+        """Grid node ids of all placed sensors."""
+        return dataset.candidate_nodes[self.sensor_candidate_cols]
+
+    def sensors_per_core(self) -> "dict[int, int]":
+        """Sensor count per scope core index."""
+        return {s.core_index: s.n_sensors for s in self.scopes}
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict all block voltages from ``(N, M)`` candidate voltages.
+
+        Only the selected columns are read — at runtime these are the
+        physical sensor measurements; the rest of X may be garbage.
+
+        Returns ``(N, K)`` predictions in dataset block-column order.
+        """
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[np.newaxis, :]
+        out = np.empty((X.shape[0], self.n_blocks))
+        filled = np.zeros(self.n_blocks, dtype=bool)
+        for scope in self.scopes:
+            sub = X[:, scope.candidate_cols]
+            out[:, scope.block_cols] = scope.predictor.predict_from_candidates(sub)
+            filled[scope.block_cols] = True
+        if not filled.all():
+            missing = int((~filled).sum())
+            raise RuntimeError(
+                f"{missing} block columns are not covered by any scope"
+            )
+        return out
+
+    def alarm(self, X: np.ndarray, threshold: float) -> np.ndarray:
+        """Chip-level emergency flag per sample (Table 2 semantics)."""
+        return np.any(self.predict(X) < threshold, axis=1)
+
+    def block_states(self, X: np.ndarray, threshold: float) -> np.ndarray:
+        """Per-(sample, block) predicted emergency states."""
+        return self.predict(X) < threshold
+
+
+def _fit_scope(
+    dataset: VoltageDataset,
+    core_index: int,
+    candidate_cols: np.ndarray,
+    block_cols: np.ndarray,
+    config: PipelineConfig,
+) -> ScopeModel:
+    """Run selection + OLS refit for one scope."""
+    X = dataset.X[:, candidate_cols]
+    F = dataset.F[:, block_cols]
+    selection = select_sensors(
+        X,
+        F,
+        budget=config.budget,
+        threshold=config.threshold,
+        rtol=config.rtol,
+        solver_max_iter=config.solver_max_iter,
+        solver_tol=config.solver_tol,
+        method=config.method,
+    )
+    predictor = VoltagePredictor.fit(
+        X,
+        F,
+        selected=selection.selected,
+        sensor_nodes=dataset.candidate_nodes[candidate_cols[selection.selected]],
+    )
+    return ScopeModel(
+        core_index=core_index,
+        candidate_cols=candidate_cols,
+        block_cols=block_cols,
+        selection=selection,
+        predictor=predictor,
+    )
+
+
+def fit_placement(dataset: VoltageDataset, config: PipelineConfig) -> PlacementModel:
+    """Fit the full monitoring system on a training dataset.
+
+    Parameters
+    ----------
+    dataset:
+        Training data (X, F) with per-core provenance.
+    config:
+        Pipeline configuration (lambda, T, per-core mode).
+
+    Returns
+    -------
+    PlacementModel
+
+    Raises
+    ------
+    ValueError
+        In per-core mode, if a core has blocks to monitor but no BA
+        candidates to select from.
+    """
+    scopes: List[ScopeModel] = []
+    if config.per_core:
+        for core in dataset.core_ids:
+            candidate_cols, block_cols = dataset.core_view(core)
+            if block_cols.size == 0:
+                continue
+            if candidate_cols.size == 0:
+                raise ValueError(
+                    f"core {core} has {block_cols.size} blocks but no "
+                    "sensor candidates; use a finer grid or global mode"
+                )
+            scopes.append(
+                _fit_scope(dataset, core, candidate_cols, block_cols, config)
+            )
+    else:
+        scopes.append(
+            _fit_scope(
+                dataset,
+                -1,
+                np.arange(dataset.n_candidates),
+                np.arange(dataset.n_blocks),
+                config,
+            )
+        )
+    return PlacementModel(scopes=scopes, config=config, n_blocks=dataset.n_blocks)

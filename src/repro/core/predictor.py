@@ -1,0 +1,182 @@
+"""Runtime voltage predictors (paper Section 2.3, Eq. (20)).
+
+A predictor maps measured sensor voltages to the estimated supply
+voltages of the monitored function blocks — the "full-chip voltage map
+generation" half of the paper.  Two flavours exist:
+
+* :class:`VoltagePredictor` — the paper's production model: OLS refit
+  on the raw voltages of the selected sensors (Eq. (17)/(20)).
+* :class:`GLCoefficientPredictor` — the *ablation* model of Eq. (14):
+  predicting with the (biased) group-lasso coefficients directly, which
+  the paper argues against via the Eq. (15)-(16) example.  Provided to
+  quantify that bias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.normalization import Standardizer
+from repro.core.ols import LinearModel, fit_ols
+from repro.utils.validation import check_matrix
+
+__all__ = ["VoltagePredictor", "GLCoefficientPredictor"]
+
+
+@dataclass
+class VoltagePredictor:
+    """OLS prediction model over the selected sensors.
+
+    Attributes
+    ----------
+    model:
+        The fitted affine model on raw sensor voltages.
+    selected:
+        Indices of the selected sensors within the candidate columns
+        the predictor was built from.
+    sensor_nodes:
+        Grid node ids of the selected sensors (optional bookkeeping).
+    """
+
+    model: LinearModel
+    selected: np.ndarray
+    sensor_nodes: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.selected = np.asarray(self.selected, dtype=np.int64)
+        if self.selected.shape[0] != self.model.n_features:
+            raise ValueError(
+                "selected index count must equal the model's feature count"
+            )
+        if self.sensor_nodes is not None:
+            self.sensor_nodes = np.asarray(self.sensor_nodes, dtype=np.int64)
+            if self.sensor_nodes.shape != self.selected.shape:
+                raise ValueError("sensor_nodes must align with selected")
+
+    @property
+    def n_sensors(self) -> int:
+        """Q — number of sensors the model reads."""
+        return self.model.n_features
+
+    @property
+    def n_blocks(self) -> int:
+        """K — number of predicted critical nodes."""
+        return self.model.n_responses
+
+    @classmethod
+    def fit(
+        cls,
+        X: np.ndarray,
+        F: np.ndarray,
+        selected: np.ndarray,
+        sensor_nodes: Optional[np.ndarray] = None,
+    ) -> "VoltagePredictor":
+        """Fit the Eq. (17) OLS model on the selected columns of ``X``.
+
+        Parameters
+        ----------
+        X:
+            ``(N, M)`` raw candidate voltages.
+        F:
+            ``(N, K)`` raw critical-node voltages.
+        selected:
+            Candidate column indices chosen by group lasso.
+        sensor_nodes:
+            Optional grid node ids for the selected sensors.
+        """
+        X = check_matrix(X, "X")
+        selected = np.asarray(selected, dtype=np.int64)
+        if selected.size == 0:
+            raise ValueError("cannot fit a predictor with zero sensors")
+        if selected.min() < 0 or selected.max() >= X.shape[1]:
+            raise ValueError("selected index out of candidate range")
+        model = fit_ols(X[:, selected], F)
+        return cls(model=model, selected=selected, sensor_nodes=sensor_nodes)
+
+    def predict(self, sensor_voltages: np.ndarray) -> np.ndarray:
+        """Predict block voltages from ``(N, Q)`` sensor readings."""
+        return self.model.predict(sensor_voltages)
+
+    def predict_from_candidates(self, X: np.ndarray) -> np.ndarray:
+        """Predict from full candidate matrices ``(N, M)``.
+
+        Convenience for offline evaluation where all candidate voltages
+        are available; picks out the selected columns first.
+        """
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[np.newaxis, :]
+        return self.model.predict(X[:, self.selected])
+
+    def alarm(self, sensor_voltages: np.ndarray, threshold: float) -> np.ndarray:
+        """Chip-level emergency flag per sample.
+
+        True when any predicted block voltage falls below ``threshold``
+        volts — the runtime decision of the paper's monitoring system.
+        """
+        pred = self.predict(sensor_voltages)
+        if pred.ndim == 1:
+            return np.any(pred < threshold)
+        return np.any(pred < threshold, axis=1)
+
+
+@dataclass
+class GLCoefficientPredictor:
+    """Ablation: predict with the biased GL coefficients (Eq. (14)).
+
+    Applies the normalized-domain linear model ``g* = beta z`` using
+    only the selected columns of the GL solution, then de-normalizes.
+    The paper's Section 2.3 shows these predictions are systematically
+    biased toward zero (in the normalized domain) because of the budget
+    constraint; comparing against :class:`VoltagePredictor` quantifies
+    how much accuracy the OLS refit recovers.
+    """
+
+    coef: np.ndarray
+    selected: np.ndarray
+    x_norm: Standardizer
+    f_norm: Standardizer
+
+    def __post_init__(self) -> None:
+        self.coef = np.asarray(self.coef, dtype=float)
+        self.selected = np.asarray(self.selected, dtype=np.int64)
+        if self.coef.ndim != 2:
+            raise ValueError("coef must be (K, M)")
+        if not (self.x_norm.is_fitted and self.f_norm.is_fitted):
+            raise ValueError("standardizers must be fitted")
+
+    @classmethod
+    def fit(
+        cls,
+        X: np.ndarray,
+        F: np.ndarray,
+        coef: np.ndarray,
+        selected: np.ndarray,
+    ) -> "GLCoefficientPredictor":
+        """Build the ablation predictor from a GL solution.
+
+        Parameters
+        ----------
+        X, F:
+            Raw training data (used only to fit the normalizers).
+        coef:
+            ``(K, M)`` group-lasso coefficient matrix.
+        selected:
+            Selected candidate columns.
+        """
+        x_norm = Standardizer().fit(np.asarray(X, dtype=float))
+        f_norm = Standardizer().fit(np.asarray(F, dtype=float))
+        return cls(coef=coef, selected=selected, x_norm=x_norm, f_norm=f_norm)
+
+    def predict_from_candidates(self, X: np.ndarray) -> np.ndarray:
+        """Predict block voltages (V) from ``(N, M)`` candidate readings."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[np.newaxis, :]
+        z = self.x_norm.transform(X)
+        # Eq. (14): only the selected sensors contribute at runtime.
+        g_star = z[:, self.selected] @ self.coef[:, self.selected].T
+        return self.f_norm.inverse_transform(g_star)

@@ -1,0 +1,124 @@
+"""Sensor selection from group-lasso coefficients (paper Steps 3-5).
+
+Normalizes the data, runs the constrained group lasso at the chosen
+``lambda``, and thresholds the column norms ``||beta_m||_2`` against T
+(the paper uses T = 1e-3) to obtain the selected sensor index set S.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.group_lasso import GroupLassoResult, group_lasso_constrained
+from repro.core.normalization import Standardizer
+from repro.utils.validation import check_matrix, check_positive
+
+__all__ = ["SelectionResult", "select_sensors", "DEFAULT_THRESHOLD"]
+
+#: The paper's selection threshold T.
+DEFAULT_THRESHOLD = 1e-3
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of group-lasso sensor selection.
+
+    Attributes
+    ----------
+    selected:
+        Sorted indices of the selected sensors (into the candidate
+        columns of X) — the paper's set S.
+    group_norms:
+        ``(M,)`` column norms ``||beta_m||_2`` of the GL solution (the
+        quantity plotted in the paper's Fig. 1).
+    budget:
+        The lambda used.
+    threshold:
+        The T used.
+    gl_result:
+        The underlying group-lasso solution (coefficients are *biased*
+        by the constraint — use them for selection only, never for
+        prediction; see paper Section 2.3).
+    """
+
+    selected: np.ndarray
+    group_norms: np.ndarray
+    budget: float
+    threshold: float
+    gl_result: GroupLassoResult
+
+    @property
+    def n_selected(self) -> int:
+        """Q — number of selected sensors."""
+        return self.selected.shape[0]
+
+
+def select_sensors(
+    X: np.ndarray,
+    F: np.ndarray,
+    budget: float,
+    threshold: float = DEFAULT_THRESHOLD,
+    rtol: float = 1e-2,
+    solver_max_iter: int = 20000,
+    solver_tol: float = 1e-7,
+    method: str = "fista",
+) -> SelectionResult:
+    """Run paper Steps 3-5: normalize, solve GL, threshold ``||beta_m||``.
+
+    Parameters
+    ----------
+    X:
+        ``(N, M)`` raw candidate-sensor voltages.
+    F:
+        ``(N, K)`` raw critical-node voltages.
+    budget:
+        The paper's hyper-parameter lambda: total group-norm budget.
+        Small values select few sensors.
+    threshold:
+        The paper's T; candidates with ``||beta_m||_2 > T`` are
+        selected.
+    rtol, solver_max_iter, solver_tol, method:
+        Numerical controls forwarded to the constrained solver.
+
+    Returns
+    -------
+    SelectionResult
+
+    Raises
+    ------
+    ValueError
+        If no sensor survives the threshold — the budget is too small
+        to be useful; increase lambda.
+    """
+    check_positive(budget, "budget")
+    check_positive(threshold, "threshold")
+    X = check_matrix(X, "X")
+    F = check_matrix(F, "F", n_rows=X.shape[0])
+
+    z = Standardizer().fit_transform(X)
+    g = Standardizer().fit_transform(F)
+    gl = group_lasso_constrained(
+        z,
+        g,
+        budget=budget,
+        rtol=rtol,
+        solver_max_iter=solver_max_iter,
+        solver_tol=solver_tol,
+        method=method,
+    )
+    norms = gl.group_norms()
+    selected = np.nonzero(norms > threshold)[0]
+    if selected.size == 0:
+        raise ValueError(
+            f"no sensors selected at lambda={budget} with T={threshold}; "
+            f"max ||beta_m|| = {norms.max():.3g} — increase lambda"
+        )
+    return SelectionResult(
+        selected=selected,
+        group_norms=norms,
+        budget=budget,
+        threshold=threshold,
+        gl_result=gl,
+    )

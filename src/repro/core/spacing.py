@@ -1,0 +1,70 @@
+"""Minimum-spacing constraints on sensor placements.
+
+Physical design often forbids two sensors closer than some pitch
+(shared bias routing, analog keep-outs).  Group lasso knows nothing of
+geometry, so spacing is enforced as a post-selection step: keep the
+strongest sensors (by ``||beta_m||_2``) that satisfy the spacing, then
+refill from the remaining ranking until the target count or the
+candidate pool is exhausted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.validation import check_matrix, check_positive
+
+__all__ = ["enforce_min_spacing"]
+
+
+def enforce_min_spacing(
+    candidates_ranked: np.ndarray,
+    positions: np.ndarray,
+    min_spacing: float,
+    max_sensors: Optional[int] = None,
+) -> np.ndarray:
+    """Greedily keep the best-ranked candidates at pairwise spacing.
+
+    Parameters
+    ----------
+    candidates_ranked:
+        Candidate indices in priority order (best first) — e.g. sorted
+        by descending group norm.
+    positions:
+        ``(n, 2)`` positions (mm) indexed by candidate index.
+    min_spacing:
+        Minimum allowed pairwise distance (mm).
+    max_sensors:
+        Optional cap on the number kept.
+
+    Returns
+    -------
+    np.ndarray
+        The kept candidate indices, sorted ascending.  Greedy by
+        priority: a candidate is kept iff it clears every
+        already-kept sensor, so the top-ranked sensor always survives.
+    """
+    candidates_ranked = np.asarray(candidates_ranked, dtype=np.int64)
+    positions = check_matrix(positions, "positions", n_cols=2)
+    check_positive(min_spacing, "min_spacing")
+    if candidates_ranked.size and (
+        candidates_ranked.min() < 0 or candidates_ranked.max() >= positions.shape[0]
+    ):
+        raise ValueError("candidate index out of positions range")
+
+    kept: List[int] = []
+    kept_pos: List[np.ndarray] = []
+    min_sq = min_spacing * min_spacing
+    for cand in candidates_ranked:
+        pos = positions[cand]
+        ok = all(
+            float(np.sum((pos - other) ** 2)) >= min_sq for other in kept_pos
+        )
+        if ok:
+            kept.append(int(cand))
+            kept_pos.append(pos)
+            if max_sensors is not None and len(kept) >= max_sensors:
+                break
+    return np.sort(np.asarray(kept, dtype=np.int64))

@@ -1,0 +1,164 @@
+"""Temporal voltage prediction from sensor history (extension).
+
+The paper's Eq. (20) predicts each block's voltage from the sensors'
+*instantaneous* readings.  But the power grid is a dynamic system: the
+voltage field carries state (decap charge, pad inductor current) that
+instantaneous readings cannot expose.  Stacking a short history of
+sensor readings as extra regression features recovers part of that
+state and tightens the prediction — at zero extra sensor cost, only a
+few registers.
+
+This module implements that extension as a drop-in counterpart of
+:class:`~repro.core.predictor.VoltagePredictor`, plus the study helper
+that measures the gain as a function of history depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.ols import LinearModel, fit_ols
+from repro.utils.validation import check_integer, check_matrix
+
+__all__ = ["stack_history", "TemporalPredictor", "history_gain_study"]
+
+
+def stack_history(readings: np.ndarray, depth: int) -> np.ndarray:
+    """Build lagged feature rows from a time-ordered reading matrix.
+
+    Parameters
+    ----------
+    readings:
+        ``(n_steps, Q)`` time-ordered sensor readings.
+    depth:
+        History depth d >= 1: row t gets the readings of steps
+        ``t, t-1, ..., t-d+1`` concatenated (``Q*d`` features).
+
+    Returns
+    -------
+    np.ndarray
+        ``(n_steps - depth + 1, Q * depth)`` stacked features; row i
+        corresponds to original step ``i + depth - 1``.
+    """
+    readings = check_matrix(readings, "readings")
+    check_integer(depth, "depth", minimum=1)
+    n_steps = readings.shape[0]
+    if n_steps < depth:
+        raise ValueError(
+            f"need at least {depth} steps to stack depth-{depth} history"
+        )
+    parts = [readings[depth - 1 - lag : n_steps - lag] for lag in range(depth)]
+    return np.hstack(parts)
+
+
+@dataclass
+class TemporalPredictor:
+    """OLS prediction from the last ``depth`` sensor readings.
+
+    Attributes
+    ----------
+    model:
+        The affine model over stacked ``Q * depth`` features.
+    depth:
+        History depth (1 reduces exactly to the paper's predictor).
+    n_sensors:
+        Q — sensors per reading.
+    """
+
+    model: LinearModel
+    depth: int
+    n_sensors: int
+
+    @classmethod
+    def fit(
+        cls, sensor_trace: np.ndarray, target_trace: np.ndarray, depth: int
+    ) -> "TemporalPredictor":
+        """Fit on time-ordered traces.
+
+        Parameters
+        ----------
+        sensor_trace:
+            ``(n_steps, Q)`` time-ordered sensor readings.
+        target_trace:
+            ``(n_steps, K)`` time-ordered critical-node voltages.
+        depth:
+            History depth d.
+        """
+        sensor_trace = check_matrix(sensor_trace, "sensor_trace")
+        target_trace = check_matrix(
+            target_trace, "target_trace", n_rows=sensor_trace.shape[0]
+        )
+        stacked = stack_history(sensor_trace, depth)
+        targets = target_trace[depth - 1 :]
+        model = fit_ols(stacked, targets)
+        return cls(model=model, depth=depth, n_sensors=sensor_trace.shape[1])
+
+    def predict_trace(self, sensor_trace: np.ndarray) -> np.ndarray:
+        """Predict a time-ordered trace; returns ``(n_steps-d+1, K)``.
+
+        Output row i predicts original step ``i + depth - 1`` (the
+        first ``depth - 1`` steps lack full history).
+        """
+        stacked = stack_history(np.asarray(sensor_trace, dtype=float), self.depth)
+        return self.model.predict(stacked)
+
+
+@dataclass(frozen=True)
+class HistoryGainPoint:
+    """One depth of the history study."""
+
+    depth: int
+    relative_error: float
+
+
+def history_gain_study(
+    sensor_trace: np.ndarray,
+    target_trace: np.ndarray,
+    depths: Sequence[int] = (1, 2, 4, 8),
+    train_fraction: float = 0.6,
+) -> List[HistoryGainPoint]:
+    """Measure prediction error vs history depth on one trace.
+
+    The trace is split in time (first part trains, the rest tests) so
+    the evaluation respects causality.
+
+    Parameters
+    ----------
+    sensor_trace, target_trace:
+        Time-ordered traces, as in :meth:`TemporalPredictor.fit`.
+    depths:
+        History depths to evaluate (1 = the paper's instantaneous
+        model).
+    train_fraction:
+        Leading fraction of steps used for training.
+    """
+    from repro.voltage.metrics import mean_relative_error
+
+    sensor_trace = check_matrix(sensor_trace, "sensor_trace")
+    target_trace = check_matrix(
+        target_trace, "target_trace", n_rows=sensor_trace.shape[0]
+    )
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    n = sensor_trace.shape[0]
+    split = int(n * train_fraction)
+    if split < max(depths) + 2 or n - split < max(depths) + 2:
+        raise ValueError("trace too short for the requested depths")
+
+    points: List[HistoryGainPoint] = []
+    for depth in depths:
+        predictor = TemporalPredictor.fit(
+            sensor_trace[:split], target_trace[:split], depth=int(depth)
+        )
+        pred = predictor.predict_trace(sensor_trace[split:])
+        truth = target_trace[split + depth - 1 :]
+        points.append(
+            HistoryGainPoint(
+                depth=int(depth),
+                relative_error=mean_relative_error(pred, truth),
+            )
+        )
+    return points

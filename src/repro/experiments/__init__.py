@@ -1,0 +1,34 @@
+"""Experiment harness: data generation, per-table/figure reproductions,
+ablations, and the CLI runner (``python -m repro.experiments.runner``)."""
+
+from repro.experiments.config import (
+    FAST_SETUP,
+    PAPER_SETUP,
+    ChipConfig,
+    DataConfig,
+    ExperimentSetup,
+)
+from repro.experiments.data_generation import (
+    ChipModel,
+    GeneratedData,
+    build_chip,
+    build_dataset,
+    generate_dataset,
+    generate_maps,
+    simulate_benchmark_trace,
+)
+
+__all__ = [
+    "FAST_SETUP",
+    "PAPER_SETUP",
+    "ChipConfig",
+    "DataConfig",
+    "ExperimentSetup",
+    "ChipModel",
+    "GeneratedData",
+    "build_chip",
+    "build_dataset",
+    "generate_dataset",
+    "generate_maps",
+    "simulate_benchmark_trace",
+]

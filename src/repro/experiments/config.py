@@ -1,0 +1,236 @@
+"""Experiment configuration objects.
+
+Two profiles ship with the library:
+
+* :data:`PAPER_SETUP` — the full reproduction scale: 8-core Xeon-like
+  chip, 30 blocks/core, 19 benchmarks, ~10,000 training maps (a few
+  minutes of compute).
+* :data:`FAST_SETUP` — a scaled-down chip and sample count for smoke
+  tests and CI (a few seconds).
+
+All stochastic stages derive their seeds from the config, so a given
+setup regenerates identical tables.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Tuple
+
+from repro.workload.benchmarks import benchmark_names
+from repro.utils.validation import check_positive
+
+__all__ = ["ChipConfig", "DataConfig", "ExperimentSetup", "PAPER_SETUP", "FAST_SETUP"]
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """Physical chip + grid + power-model parameters.
+
+    Parameters
+    ----------
+    core_cols, core_rows:
+        Core array shape (4 x 2 = the paper's 8 cores).
+    template:
+        ``"xeon"`` (30 blocks/core) or ``"small"`` (6 blocks/core, for
+        tests).
+    grid_pitch:
+        Power-grid node pitch in mm.
+    sheet_resistance:
+        Grid sheet resistance (ohm/sq).
+    cap_per_mm2:
+        Decap density (F/mm^2).
+    pad_pitch, pad_resistance, pad_inductance:
+        Supply-pad array parameters.
+    vdd:
+        Nominal supply (V); the paper uses 1.0 V.
+    timestep:
+        Transient integration step (s).
+    core_peak_power:
+        Full-activity power of one core (W).
+    leakage_fraction:
+        Leakage share of block peak power.
+    emergency_fraction:
+        Emergency threshold as a fraction of VDD (paper: 0.85).
+    """
+
+    core_cols: int = 4
+    core_rows: int = 2
+    template: str = "xeon"
+    grid_pitch: float = 0.2
+    sheet_resistance: float = 0.04
+    cap_per_mm2: float = 1.5e-9
+    pad_pitch: float = 2.0
+    pad_resistance: float = 0.02
+    pad_inductance: float = 50e-12
+    vdd: float = 1.0
+    timestep: float = 2e-10
+    core_peak_power: float = 16.0
+    leakage_fraction: float = 0.25
+    emergency_fraction: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.template not in ("xeon", "small"):
+            raise ValueError(f"unknown template {self.template!r}")
+        check_positive(self.grid_pitch, "grid_pitch")
+        check_positive(self.timestep, "timestep")
+        if not 0.0 < self.emergency_fraction < 1.0:
+            raise ValueError("emergency_fraction must be in (0, 1)")
+
+    @property
+    def emergency_threshold(self) -> float:
+        """Emergency threshold in volts."""
+        return self.vdd * self.emergency_fraction
+
+    @property
+    def n_cores(self) -> int:
+        """Total core count."""
+        return self.core_cols * self.core_rows
+
+
+@dataclass(frozen=True)
+class DataConfig:
+    """Voltage-map generation parameters.
+
+    Parameters
+    ----------
+    benchmarks:
+        Benchmark names to simulate (defaults to the 19-entry suite).
+    steps_per_benchmark:
+        Recorded transient steps per benchmark.
+    warmup_steps:
+        Discarded settling steps before recording.
+    record_every:
+        Sample a map every k-th recorded step.
+    n_samples:
+        Training maps randomly drawn from the recorded pool (the paper
+        uses 10,000); clipped to the pool size.
+    seed:
+        Master seed; per-benchmark activity seeds derive from it.
+    block_jitter:
+        Std-dev of per-block deviation from its unit's shared activity
+        trace (idiosyncratic fine-grain noise).
+    ramp_steps:
+        Power-gating wake/sleep ramp length in simulation steps.
+    core_coupling:
+        How strongly all units of a core follow a shared program trace
+        (see :func:`repro.workload.activity.generate_activity`).
+    gating_scope:
+        ``"unit"`` (independent unit gating) or ``"core"``
+        (cluster-level gating, one channel per core).
+    phase_concentration:
+        Beta concentration of phase activity levels (tightness).
+    burst_boost:
+        Core-wide activity increment during burst windows.
+    """
+
+    benchmarks: Tuple[str, ...] = tuple(benchmark_names())
+    steps_per_benchmark: int = 1100
+    warmup_steps: int = 100
+    record_every: int = 2
+    n_samples: int = 10000
+    seed: int = 2015
+    block_jitter: float = 0.03
+    ramp_steps: int = 2
+    core_coupling: float = 0.6
+    gating_scope: str = "unit"
+    phase_concentration: float = 12.0
+    burst_boost: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not self.benchmarks:
+            raise ValueError("benchmarks must be non-empty")
+        if self.steps_per_benchmark < 1:
+            raise ValueError("steps_per_benchmark must be >= 1")
+        if self.warmup_steps < 0:
+            raise ValueError("warmup_steps must be >= 0")
+        if self.record_every < 1:
+            raise ValueError("record_every must be >= 1")
+        if self.n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        if self.block_jitter < 0:
+            raise ValueError("block_jitter must be >= 0")
+        if self.ramp_steps < 1:
+            raise ValueError("ramp_steps must be >= 1")
+        if not 0.0 <= self.core_coupling <= 1.0:
+            raise ValueError("core_coupling must be in [0, 1]")
+        if self.gating_scope not in ("unit", "core"):
+            raise ValueError("gating_scope must be 'unit' or 'core'")
+        if self.phase_concentration <= 0:
+            raise ValueError("phase_concentration must be positive")
+        if not 0.0 <= self.burst_boost <= 1.0:
+            raise ValueError("burst_boost must be in [0, 1]")
+
+    @property
+    def maps_per_benchmark(self) -> int:
+        """Recorded maps each benchmark contributes to the pool."""
+        return (self.steps_per_benchmark + self.record_every - 1) // self.record_every
+
+
+@dataclass(frozen=True)
+class ExperimentSetup:
+    """A chip + training-data + evaluation-data bundle.
+
+    Attributes
+    ----------
+    chip:
+        Physical configuration.
+    train:
+        Map generation for the training pool.
+    eval:
+        Map generation for held-out evaluation (different seed, fresh
+        workload realizations — the "runtime" data).
+    name:
+        Profile name used in cache keys and reports.
+    """
+
+    chip: ChipConfig = ChipConfig()
+    train: DataConfig = DataConfig()
+    eval: DataConfig = DataConfig(seed=7151, n_samples=10000)
+    name: str = "paper"
+
+    def cache_key(self) -> str:
+        """Stable hash of the full configuration (for dataset caching)."""
+        payload = json.dumps(
+            {
+                "chip": asdict(self.chip),
+                "train": asdict(self.train),
+                "eval": asdict(self.eval),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+#: Full-scale reproduction profile (paper Section 3 scale).
+PAPER_SETUP = ExperimentSetup()
+
+#: Reduced profile for tests/CI: 2 small cores, short traces.
+FAST_SETUP = ExperimentSetup(
+    chip=ChipConfig(
+        core_cols=2,
+        core_rows=1,
+        template="small",
+        grid_pitch=0.2,
+        pad_pitch=1.5,
+    ),
+    train=DataConfig(
+        benchmarks=("x264", "canneal", "swaptions", "dedup"),
+        steps_per_benchmark=300,
+        warmup_steps=40,
+        record_every=1,
+        n_samples=900,
+        seed=11,
+    ),
+    eval=DataConfig(
+        benchmarks=("x264", "canneal", "swaptions", "dedup"),
+        steps_per_benchmark=200,
+        warmup_steps=40,
+        record_every=1,
+        n_samples=600,
+        seed=12,
+    ),
+    name="fast",
+)

@@ -1,0 +1,352 @@
+"""End-to-end training-data generation (paper Section 3, steps 1-4).
+
+Chains the substrates together:
+
+1. activity traces per benchmark (GEM5 stand-in),
+2. block power via the McPAT-like model,
+3. full-chip power-grid transient simulation,
+4. voltage-map sampling,
+
+then identifies the noise-critical node of every block and assembles
+the (X, F) training dataset.  Generated datasets can be cached on disk
+keyed by the configuration hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.config import ChipConfig, DataConfig, ExperimentSetup
+from repro.floorplan.candidates import NodeClassification, classify_nodes
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.xeon_like import (
+    SMALL_CORE_TEMPLATE,
+    XEON_CORE_TEMPLATE,
+    make_xeon_e5_floorplan,
+)
+from repro.powergrid.grid import PowerGrid
+from repro.powergrid.transient import TransientSolver
+from repro.voltage.critical import select_critical_nodes, select_representative_nodes
+from repro.voltage.dataset import VoltageDataset
+from repro.voltage.maps import VoltageMapSet
+from repro.voltage.sampling import sample_maps
+from repro.workload.activity import generate_activity
+from repro.workload.benchmarks import get_benchmark
+from repro.workload.current_map import CurrentMapper
+from repro.workload.power_model import McPATLikePowerModel, PowerModelConfig
+from repro.utils.rng import seed_for
+
+__all__ = [
+    "ChipModel",
+    "build_chip",
+    "generate_maps",
+    "build_dataset",
+    "generate_dataset",
+    "simulate_benchmark_trace",
+]
+
+
+@dataclass
+class ChipModel:
+    """The assembled physical model of one chip configuration.
+
+    Attributes
+    ----------
+    config:
+        The generating :class:`ChipConfig`.
+    floorplan:
+        The chip floorplan.
+    grid:
+        The power grid covering it.
+    classification:
+        FA/BA classification of the grid nodes.
+    solver:
+        A ready transient solver (matrix factorized once, shared by all
+        benchmark simulations).
+    mapper:
+        Block-power -> node-current mapper.
+    power_model:
+        The activity -> power model.
+    """
+
+    config: ChipConfig
+    floorplan: Floorplan
+    grid: PowerGrid
+    classification: NodeClassification
+    solver: TransientSolver
+    mapper: CurrentMapper
+    power_model: McPATLikePowerModel
+
+
+def build_chip(config: ChipConfig) -> ChipModel:
+    """Construct floorplan, grid, classification and solver for a config."""
+    template = XEON_CORE_TEMPLATE if config.template == "xeon" else SMALL_CORE_TEMPLATE
+    if config.template == "small":
+        floorplan = make_xeon_e5_floorplan(
+            core_cols=config.core_cols,
+            core_rows=config.core_rows,
+            core_width=2.4,
+            core_height=1.6,
+            channel=0.4,
+            periphery=0.4,
+            block_gap=0.08,
+            template=template,
+            name=f"small-{config.n_cores}core",
+        )
+    else:
+        floorplan = make_xeon_e5_floorplan(
+            core_cols=config.core_cols,
+            core_rows=config.core_rows,
+            template=template,
+            name=f"xeon-e5-like-{config.n_cores}core",
+        )
+    grid = PowerGrid.regular_mesh(
+        floorplan.chip.width,
+        floorplan.chip.height,
+        pitch=config.grid_pitch,
+        sheet_resistance=config.sheet_resistance,
+        cap_per_mm2=config.cap_per_mm2,
+        vdd=config.vdd,
+        pad_pitch=config.pad_pitch,
+        pad_resistance=config.pad_resistance,
+        pad_inductance=config.pad_inductance,
+    )
+    classification = classify_nodes(floorplan, grid.coords)
+    solver = TransientSolver(grid, timestep=config.timestep)
+    mapper = CurrentMapper(floorplan, classification, grid.n_nodes, vdd=config.vdd)
+    power_model = McPATLikePowerModel(
+        floorplan,
+        PowerModelConfig(
+            core_peak_power=config.core_peak_power,
+            leakage_fraction=config.leakage_fraction,
+        ),
+    )
+    return ChipModel(
+        config=config,
+        floorplan=floorplan,
+        grid=grid,
+        classification=classification,
+        solver=solver,
+        mapper=mapper,
+        power_model=power_model,
+    )
+
+
+def _simulate_one(
+    chip: ChipModel, benchmark: str, data: DataConfig
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Simulate one benchmark; returns (voltages, times) of its maps."""
+    spec = get_benchmark(benchmark)
+    total_steps = data.warmup_steps + data.steps_per_benchmark
+    traces = generate_activity(
+        chip.floorplan,
+        spec,
+        n_steps=total_steps,
+        rng=seed_for(f"{benchmark}-{data.seed}"),
+        ramp_steps=data.ramp_steps,
+        block_jitter=data.block_jitter,
+        core_coupling=data.core_coupling,
+        gating_scope=data.gating_scope,
+        phase_concentration=data.phase_concentration,
+        burst_boost=data.burst_boost,
+    )
+    power = chip.power_model.block_power(traces)
+    chip.mapper.bind(power)
+    result = chip.solver.simulate(
+        chip.mapper,
+        n_steps=data.steps_per_benchmark,
+        record_every=data.record_every,
+        warmup_steps=data.warmup_steps,
+    )
+    return result.voltages.astype(np.float32), result.times
+
+
+def generate_maps(
+    chip: ChipModel, data: DataConfig, verbose: bool = False
+) -> VoltageMapSet:
+    """Simulate every benchmark and pool the sampled voltage maps."""
+    volts: List[np.ndarray] = []
+    labels: List[np.ndarray] = []
+    times: List[np.ndarray] = []
+    names = list(data.benchmarks)
+    for idx, benchmark in enumerate(names):
+        v, t = _simulate_one(chip, benchmark, data)
+        volts.append(v)
+        labels.append(np.full(v.shape[0], idx, dtype=np.int64))
+        times.append(t)
+        if verbose:
+            print(
+                f"  [{idx + 1}/{len(names)}] {benchmark}: {v.shape[0]} maps, "
+                f"min {v.min():.3f} V"
+            )
+    return VoltageMapSet(
+        voltages=np.vstack(volts),
+        benchmark_of_sample=np.concatenate(labels),
+        benchmark_names=names,
+        times=np.concatenate(times),
+    )
+
+
+def build_dataset(
+    chip: ChipModel,
+    maps: VoltageMapSet,
+    critical: Optional[Dict[str, int]] = None,
+    nodes_per_block: int = 1,
+    include_fa_candidates: bool = False,
+) -> VoltageDataset:
+    """Assemble the (X, F) dataset from sampled maps.
+
+    Parameters
+    ----------
+    chip:
+        The chip model (provides candidate/block bookkeeping).
+    maps:
+        Sampled voltage maps covering all grid nodes.
+    critical:
+        Optional pre-computed critical-node map (block name -> node).
+        When omitted it is derived from ``maps`` — pass the *training*
+        assignment when building evaluation datasets so both use the
+        same monitored nodes.  Only honoured for ``nodes_per_block=1``.
+    nodes_per_block:
+        Representative nodes monitored per block (paper Section 2.1's
+        "more representative nodes per block" extension).  With r > 1
+        the F matrix gains r columns per block, named
+        ``"<block>#<rank>"``.
+    include_fa_candidates:
+        Allow sensor candidates *inside* the function area as well (the
+        paper's Section 3.2 closing remark).  FA nodes that serve as
+        monitored critical nodes are excluded from the candidate pool.
+    """
+    if nodes_per_block < 1:
+        raise ValueError(f"nodes_per_block must be >= 1, got {nodes_per_block}")
+    cls = chip.classification
+
+    if nodes_per_block == 1:
+        if critical is None:
+            critical = select_critical_nodes(maps.voltages, cls)
+        block_names = [b.name for b in chip.floorplan.blocks]
+        critical_nodes = np.asarray(
+            [critical[name] for name in block_names], dtype=np.int64
+        )
+        block_cores = np.asarray(
+            [b.core_index for b in chip.floorplan.blocks], dtype=np.int64
+        )
+    else:
+        representatives = select_representative_nodes(
+            maps.voltages, cls, nodes_per_block=nodes_per_block
+        )
+        block_names = []
+        nodes_list = []
+        cores_list = []
+        for block in chip.floorplan.blocks:
+            for rank, node in enumerate(representatives[block.name]):
+                block_names.append(f"{block.name}#{rank}")
+                nodes_list.append(node)
+                cores_list.append(block.core_index)
+        critical_nodes = np.asarray(nodes_list, dtype=np.int64)
+        block_cores = np.asarray(cores_list, dtype=np.int64)
+
+    candidate_nodes = np.asarray(cls.ba_nodes, dtype=np.int64)
+    if include_fa_candidates:
+        monitored = set(critical_nodes.tolist())
+        fa_extra = np.asarray(
+            [n for n in cls.fa_nodes() if n not in monitored], dtype=np.int64
+        )
+        candidate_nodes = np.sort(np.concatenate([candidate_nodes, fa_extra]))
+    candidate_cores = np.asarray(
+        [cls.core_of_node[n] for n in candidate_nodes], dtype=np.int64
+    )
+    return VoltageDataset(
+        X=np.asarray(maps.voltages[:, candidate_nodes], dtype=float),
+        F=np.asarray(maps.voltages[:, critical_nodes], dtype=float),
+        candidate_nodes=candidate_nodes,
+        candidate_cores=candidate_cores,
+        critical_nodes=critical_nodes,
+        block_names=block_names,
+        block_cores=block_cores,
+        benchmark_of_sample=maps.benchmark_of_sample,
+        benchmark_names=list(maps.benchmark_names),
+        vdd=chip.config.vdd,
+    )
+
+
+@dataclass
+class GeneratedData:
+    """Everything the experiments need: chip, datasets, critical nodes."""
+
+    chip: ChipModel
+    train: VoltageDataset
+    eval: VoltageDataset
+    critical: Dict[str, int]
+
+
+def generate_dataset(
+    setup: ExperimentSetup, verbose: bool = False
+) -> GeneratedData:
+    """Generate (or regenerate) the train/eval datasets of a setup.
+
+    The critical-node assignment is derived from the *training* maps
+    and reused for evaluation, as a deployed monitoring system would.
+
+    Parameters
+    ----------
+    setup:
+        The experiment profile.
+    verbose:
+        Print per-benchmark progress.
+    """
+    chip = build_chip(setup.chip)
+    if verbose:
+        print(chip.floorplan.summary())
+        print(chip.grid.summary())
+
+    if verbose:
+        print("simulating training benchmarks...")
+    train_pool = generate_maps(chip, setup.train, verbose=verbose)
+    n_train = min(setup.train.n_samples, train_pool.n_samples)
+    train_maps = sample_maps(train_pool, n_train, rng=setup.train.seed)
+    critical = select_critical_nodes(train_maps.voltages, chip.classification)
+    train_ds = build_dataset(chip, train_maps, critical)
+    del train_pool, train_maps
+
+    if verbose:
+        print("simulating evaluation benchmarks...")
+    eval_pool = generate_maps(chip, setup.eval, verbose=verbose)
+    n_eval = min(setup.eval.n_samples, eval_pool.n_samples)
+    eval_maps = sample_maps(eval_pool, n_eval, rng=setup.eval.seed)
+    eval_ds = build_dataset(chip, eval_maps, critical)
+    del eval_pool, eval_maps
+
+    return GeneratedData(chip=chip, train=train_ds, eval=eval_ds, critical=critical)
+
+
+def simulate_benchmark_trace(
+    chip: ChipModel,
+    benchmark: str,
+    n_steps: int,
+    seed: int = 0,
+    warmup_steps: int = 50,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Simulate a time-ordered full-map trace of one benchmark.
+
+    Used by the Fig. 2 reproduction, which needs consecutive (not
+    randomly sampled) voltage maps to plot predicted vs real traces.
+
+    Returns
+    -------
+    (voltages, times):
+        ``(n_steps, n_nodes)`` float array and matching times.
+    """
+    data = DataConfig(
+        benchmarks=(benchmark,),
+        steps_per_benchmark=n_steps,
+        warmup_steps=warmup_steps,
+        record_every=1,
+        n_samples=n_steps,
+        seed=seed,
+    )
+    voltages, times = _simulate_one(chip, benchmark, data)
+    return np.asarray(voltages, dtype=float), times

@@ -1,0 +1,315 @@
+"""Extension experiments beyond the paper's evaluation.
+
+The paper sketches two extensions without evaluating them; this module
+implements and measures both, plus a physical-design sensitivity study:
+
+* **FA sensors** (Section 3.2 closing remark): "it is possible for the
+  designers to place the sensors inside the function area, to further
+  improve the prediction accuracy".
+* **Multiple representative nodes per block** (Section 2.1): "it is
+  easy for our model to handle the case with more representative nodes
+  per block".
+* **Pad-inductance sensitivity**: how the placement quality and
+  emergency statistics move with the package inductance that drives
+  first-droop depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.lambda_sweep import fit_for_sensor_count
+from repro.core.pipeline import PipelineConfig
+from repro.experiments.config import ExperimentSetup
+from repro.experiments.data_generation import (
+    build_chip,
+    build_dataset,
+    generate_maps,
+)
+from repro.voltage.critical import select_critical_nodes
+from repro.voltage.metrics import mean_relative_error
+from repro.voltage.sampling import sample_maps
+from repro.utils.tables import format_table
+
+__all__ = [
+    "FASensorResult",
+    "run_fa_sensor_extension",
+    "render_fa_sensor",
+    "MultiNodeResult",
+    "run_multi_node_extension",
+    "render_multi_node",
+    "PadSensitivityResult",
+    "run_pad_sensitivity",
+    "render_pad_sensitivity",
+]
+
+
+def _make_datasets(setup: ExperimentSetup, **dataset_kwargs):
+    """Generate train/eval datasets with custom build options."""
+    chip = build_chip(setup.chip)
+    train_pool = generate_maps(chip, setup.train)
+    train_maps = sample_maps(
+        train_pool,
+        min(setup.train.n_samples, train_pool.n_samples),
+        rng=setup.train.seed,
+    )
+    critical = select_critical_nodes(train_maps.voltages, chip.classification)
+    train = build_dataset(chip, train_maps, critical=critical, **dataset_kwargs)
+    eval_pool = generate_maps(chip, setup.eval)
+    eval_maps = sample_maps(
+        eval_pool,
+        min(setup.eval.n_samples, eval_pool.n_samples),
+        rng=setup.eval.seed,
+    )
+    evald = build_dataset(chip, eval_maps, critical=critical, **dataset_kwargs)
+    return chip, train, evald
+
+
+# ----------------------------------------------------------------------
+# Extension A: sensors allowed inside the function area
+# ----------------------------------------------------------------------
+@dataclass
+class FASensorResult:
+    """BA-only vs BA+FA candidate pools at equal sensor count.
+
+    Attributes
+    ----------
+    sensors_per_core:
+        Sensor budget used for both pools.
+    ba_only_error, with_fa_error:
+        Evaluation relative errors.
+    ba_candidates, fa_candidates:
+        Candidate pool sizes (M) of the two runs.
+    fa_sensors_used:
+        How many of the selected sensors actually sit in FA when FA
+        candidates are allowed.
+    """
+
+    sensors_per_core: int
+    ba_only_error: float
+    with_fa_error: float
+    ba_candidates: int
+    fa_candidates: int
+    fa_sensors_used: int
+
+
+def run_fa_sensor_extension(
+    setup: ExperimentSetup, sensors_per_core: int = 2
+) -> FASensorResult:
+    """Measure the accuracy gain from allowing FA sensor sites.
+
+    Parameters
+    ----------
+    setup:
+        Experiment profile (chip + data configs).
+    sensors_per_core:
+        Sensor budget applied to both candidate pools.
+    """
+    chip, train_ba, eval_ba = _make_datasets(setup)
+    model_ba = fit_for_sensor_count(train_ba, target_per_core=float(sensors_per_core))
+    err_ba = mean_relative_error(model_ba.predict(eval_ba.X), eval_ba.F)
+
+    chip2, train_fa, eval_fa = _make_datasets(setup, include_fa_candidates=True)
+    model_fa = fit_for_sensor_count(train_fa, target_per_core=float(sensors_per_core))
+    err_fa = mean_relative_error(model_fa.predict(eval_fa.X), eval_fa.F)
+
+    cls = chip2.classification
+    sensor_nodes = model_fa.sensor_nodes(train_fa)
+    fa_used = sum(1 for n in sensor_nodes if cls.block_of_node[int(n)] is not None)
+    return FASensorResult(
+        sensors_per_core=sensors_per_core,
+        ba_only_error=err_ba,
+        with_fa_error=err_fa,
+        ba_candidates=train_ba.n_candidates,
+        fa_candidates=train_fa.n_candidates,
+        fa_sensors_used=fa_used,
+    )
+
+
+def render_fa_sensor(result: FASensorResult) -> str:
+    """Render the FA-sensor extension summary."""
+    gain = (
+        result.ba_only_error / result.with_fa_error
+        if result.with_fa_error > 0
+        else float("inf")
+    )
+    return (
+        f"Extension — FA sensor sites ({result.sensors_per_core} sensors/core):\n"
+        f"  BA-only pool  (M={result.ba_candidates}): "
+        f"rel err {100 * result.ba_only_error:.4f}%\n"
+        f"  BA+FA pool    (M={result.fa_candidates}): "
+        f"rel err {100 * result.with_fa_error:.4f}% "
+        f"({result.fa_sensors_used} sensors placed inside FA)\n"
+        f"  accuracy gain from FA sites: {gain:.2f}x"
+    )
+
+
+# ----------------------------------------------------------------------
+# Extension B: multiple representative nodes per block
+# ----------------------------------------------------------------------
+@dataclass
+class MultiNodeResult:
+    """Accuracy vs number of monitored nodes per block.
+
+    Attributes
+    ----------
+    nodes_per_block:
+        The swept r values.
+    k_values:
+        Resulting response counts K.
+    errors:
+        Evaluation relative errors per r, at a fixed lambda.
+    sensors:
+        Sensors selected per r.
+    budget:
+        The fixed lambda used.
+    """
+
+    nodes_per_block: List[int]
+    k_values: List[int]
+    errors: List[float]
+    sensors: List[int]
+    budget: float
+
+
+def run_multi_node_extension(
+    setup: ExperimentSetup,
+    nodes_per_block: Sequence[int] = (1, 2, 3),
+    budget: float = 1.0,
+) -> MultiNodeResult:
+    """Monitor r worst-noise nodes per block instead of one.
+
+    Parameters
+    ----------
+    setup:
+        Experiment profile.
+    nodes_per_block:
+        Values of r to sweep.
+    budget:
+        Fixed lambda for every fit (sensor counts may grow with K
+        because the budget constrains coefficient norms, not Q).
+    """
+    k_values: List[int] = []
+    errors: List[float] = []
+    sensors: List[int] = []
+    for r in nodes_per_block:
+        _, train, evald = _make_datasets(setup, nodes_per_block=int(r))
+        from repro.core.pipeline import fit_placement
+
+        model = fit_placement(train, PipelineConfig(budget=budget))
+        k_values.append(train.n_blocks)
+        errors.append(mean_relative_error(model.predict(evald.X), evald.F))
+        sensors.append(model.n_sensors)
+    return MultiNodeResult(
+        nodes_per_block=[int(r) for r in nodes_per_block],
+        k_values=k_values,
+        errors=errors,
+        sensors=sensors,
+        budget=budget,
+    )
+
+
+def render_multi_node(result: MultiNodeResult) -> str:
+    """Render the multi-node extension table."""
+    rows = [
+        [r, k, q, f"{100 * e:.4f}"]
+        for r, k, q, e in zip(
+            result.nodes_per_block, result.k_values, result.sensors, result.errors
+        )
+    ]
+    return format_table(
+        headers=["nodes/block", "K", "sensors", "rel err %"],
+        rows=rows,
+        title=(
+            "Extension — multiple representative nodes per block "
+            f"(lambda={result.budget:g})"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Extension C: pad-inductance sensitivity
+# ----------------------------------------------------------------------
+@dataclass
+class PadSensitivityResult:
+    """Emergency statistics and accuracy vs package inductance.
+
+    Attributes
+    ----------
+    inductances:
+        The swept per-pad inductances (H).
+    prevalence:
+        Fraction of evaluation samples with an FA emergency.
+    errors:
+        Evaluation relative prediction errors at a fixed lambda.
+    worst_droop:
+        Deepest FA voltage seen in evaluation (V).
+    """
+
+    inductances: List[float]
+    prevalence: List[float]
+    errors: List[float]
+    worst_droop: List[float]
+
+
+def run_pad_sensitivity(
+    setup: ExperimentSetup,
+    inductances: Sequence[float] = (10e-12, 50e-12, 150e-12),
+    budget: float = 1.0,
+) -> PadSensitivityResult:
+    """Sweep the package inductance and re-run the pipeline.
+
+    Parameters
+    ----------
+    setup:
+        Base experiment profile; only the pad inductance varies.
+    inductances:
+        Per-pad inductances (H) to sweep.
+    budget:
+        Fixed lambda for the fits.
+    """
+    from repro.core.pipeline import fit_placement
+
+    prevalence: List[float] = []
+    errors: List[float] = []
+    worst: List[float] = []
+    for ind in inductances:
+        sub = ExperimentSetup(
+            chip=replace(setup.chip, pad_inductance=float(ind)),
+            train=setup.train,
+            eval=setup.eval,
+            name=f"{setup.name}-L{ind:g}",
+        )
+        _, train, evald = _make_datasets(sub)
+        model = fit_placement(train, PipelineConfig(budget=budget))
+        threshold = sub.chip.emergency_threshold
+        prevalence.append(float((evald.F < threshold).any(axis=1).mean()))
+        errors.append(mean_relative_error(model.predict(evald.X), evald.F))
+        worst.append(float(evald.F.min()))
+    return PadSensitivityResult(
+        inductances=[float(i) for i in inductances],
+        prevalence=prevalence,
+        errors=errors,
+        worst_droop=worst,
+    )
+
+
+def render_pad_sensitivity(result: PadSensitivityResult) -> str:
+    """Render the pad-sensitivity table."""
+    rows = [
+        [f"{ind * 1e12:.0f} pH", f"{p:.4f}", f"{w:.4f}", f"{100 * e:.4f}"]
+        for ind, p, w, e in zip(
+            result.inductances,
+            result.prevalence,
+            result.worst_droop,
+            result.errors,
+        )
+    ]
+    return format_table(
+        headers=["pad L", "emergency prevalence", "worst droop (V)", "rel err %"],
+        rows=rows,
+        title="Extension — package-inductance sensitivity",
+    )

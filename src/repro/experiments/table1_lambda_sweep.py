@@ -1,0 +1,121 @@
+"""Experiment Table 1: lambda vs sensors per core vs relative error.
+
+Reproduces the paper's Table 1: as lambda grows, more sensors are
+selected per core and the aggregated relative prediction error (over
+all function blocks and all benchmarks) drops — sub-1% even at the
+smallest lambda.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.lambda_sweep import SweepPoint, sweep_lambda
+from repro.core.pipeline import PipelineConfig
+from repro.experiments.data_generation import GeneratedData
+from repro.voltage.metrics import mean_relative_error
+from repro.utils.tables import format_table
+
+__all__ = ["Table1Result", "run_table1", "render_table1", "DEFAULT_BUDGETS"]
+
+#: Default lambda sweep.  The paper sweeps 10..60 on its data; our data
+#: matrices have different scales, so the equivalent sweep spans the
+#: range that selects ~2..14 sensors per core (see EXPERIMENTS.md).
+DEFAULT_BUDGETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
+
+
+@dataclass
+class Table1Result:
+    """The Table 1 rows.
+
+    Attributes
+    ----------
+    points:
+        One sweep point per lambda (ascending), including the fitted
+        models and held-out relative errors.
+    eval_relative_errors:
+        Relative error of each model on the independent evaluation
+        dataset (fresh workload runs), aligned with ``points``.
+    """
+
+    points: List[SweepPoint]
+    eval_relative_errors: List[float]
+
+    @property
+    def budgets(self) -> List[float]:
+        """The lambda values, in sweep order."""
+        return [p.budget for p in self.points]
+
+    @property
+    def sensors_per_core(self) -> List[float]:
+        """Mean sensors per core at each lambda."""
+        return [p.sensors_per_core for p in self.points]
+
+
+def run_table1(
+    data: GeneratedData,
+    budgets: Sequence[float] = DEFAULT_BUDGETS,
+    base_config: Optional[PipelineConfig] = None,
+) -> Table1Result:
+    """Run the lambda sweep and score on the evaluation dataset.
+
+    Parameters
+    ----------
+    data:
+        Generated datasets; the sweep trains/validates on the training
+        dataset and reports final errors on the evaluation dataset.
+    budgets:
+        Lambda values (ascending recommended).
+    base_config:
+        Pipeline template (default: per-core, paper T).
+    """
+    points = sweep_lambda(
+        data.train,
+        budgets=list(budgets),
+        base_config=base_config,
+        test_fraction=0.25,
+        rng=1,
+    )
+    eval_errors = [
+        mean_relative_error(p.model.predict(data.eval.X), data.eval.F)
+        for p in points
+    ]
+    return Table1Result(points=points, eval_relative_errors=eval_errors)
+
+
+def render_table1(result: Table1Result) -> str:
+    """Render the paper-style Table 1 plus our extra columns."""
+    rows = []
+    for point, eval_err in zip(result.points, result.eval_relative_errors):
+        rows.append(
+            [
+                point.budget,
+                round(point.sensors_per_core, 2),
+                point.n_sensors_total,
+                f"{100 * point.relative_error:.3f}",
+                f"{100 * eval_err:.3f}",
+                f"{point.max_abs_error * 1000:.2f}",
+            ]
+        )
+    table = format_table(
+        headers=[
+            "lambda",
+            "sensors/core",
+            "sensors total",
+            "rel err % (held-out)",
+            "rel err % (eval run)",
+            "max abs err (mV)",
+        ],
+        rows=rows,
+        title="Table 1 — lambda vs selected sensors and relative prediction error",
+    )
+    monotone_sensors = all(
+        a <= b
+        for a, b in zip(result.sensors_per_core, result.sensors_per_core[1:])
+    )
+    note = (
+        "\nsensor count monotone non-decreasing in lambda: "
+        f"{'yes' if monotone_sensors else 'NO'}"
+    )
+    return table + note

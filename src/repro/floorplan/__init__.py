@@ -1,0 +1,36 @@
+"""Chip floorplans: geometry, function blocks, FA/BA partitioning.
+
+The floorplan layer defines where circuit blocks (function area, FA) and
+blank area (BA) live on the die.  Sensor candidates are BA grid nodes;
+noise-critical nodes are FA grid nodes — see
+:mod:`repro.floorplan.candidates`.
+"""
+
+from repro.floorplan.blocks import FunctionBlock, UnitKind
+from repro.floorplan.candidates import NodeClassification, classify_nodes
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.geometry import Point, Rect
+from repro.floorplan.xeon_like import (
+    SMALL_CORE_TEMPLATE,
+    UNIT_GATEABLE,
+    UNIT_POWER_WEIGHT,
+    XEON_CORE_TEMPLATE,
+    make_small_floorplan,
+    make_xeon_e5_floorplan,
+)
+
+__all__ = [
+    "FunctionBlock",
+    "UnitKind",
+    "NodeClassification",
+    "classify_nodes",
+    "Floorplan",
+    "Point",
+    "Rect",
+    "SMALL_CORE_TEMPLATE",
+    "UNIT_GATEABLE",
+    "UNIT_POWER_WEIGHT",
+    "XEON_CORE_TEMPLATE",
+    "make_small_floorplan",
+    "make_xeon_e5_floorplan",
+]

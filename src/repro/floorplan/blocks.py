@@ -1,0 +1,101 @@
+"""Function blocks and unit grouping.
+
+A *function block* is the smallest floorplan unit the methodology works
+with: the paper monitors one noise-critical node per block (K blocks
+total in the function area).  Blocks are grouped into *units* (execution,
+FPU, front-end, ...) matching the colour groups of the paper's Fig. 3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.floorplan.geometry import Rect
+
+__all__ = ["UnitKind", "FunctionBlock"]
+
+
+class UnitKind(enum.Enum):
+    """Functional unit families inside a core.
+
+    These mirror the colour-coded groups of the paper's Fig. 3, where
+    "blocks that are functionally relative or similar are grouped into
+    one unit".  The execution unit is the noisiest (the paper's
+    blue-colored unit around which Eagle-Eye concentrates its sensors).
+    """
+
+    FRONTEND = "frontend"  # fetch, decode, branch prediction
+    EXECUTION = "execution"  # integer ALUs, schedulers (worst noise)
+    FPU = "fpu"  # floating point / SIMD
+    LOAD_STORE = "load_store"  # AGU, load/store queues
+    L1_CACHE = "l1_cache"  # L1I + L1D arrays
+    L2_CACHE = "l2_cache"  # per-core L2 slice
+    OOO = "ooo"  # rename, ROB, retirement
+    UNCORE = "uncore"  # shared L3 / ring / memory controller
+
+    @property
+    def display_char(self) -> str:
+        """Single-character tag used in ASCII placement maps."""
+        return {
+            UnitKind.FRONTEND: "F",
+            UnitKind.EXECUTION: "E",
+            UnitKind.FPU: "P",
+            UnitKind.LOAD_STORE: "S",
+            UnitKind.L1_CACHE: "1",
+            UnitKind.L2_CACHE: "2",
+            UnitKind.OOO: "O",
+            UnitKind.UNCORE: "U",
+        }[self]
+
+
+@dataclass(frozen=True)
+class FunctionBlock:
+    """A single function block placed in the function area.
+
+    Parameters
+    ----------
+    name:
+        Unique block name, e.g. ``"core3/execution/alu1"``.
+    unit:
+        The functional unit family this block belongs to.
+    rect:
+        Block outline in chip coordinates (mm).
+    core_index:
+        Which core the block belongs to; ``-1`` for uncore blocks.
+    power_weight:
+        Relative share of core dynamic power attributed to the block
+        (the per-core weights are normalized by the power model).
+    gateable:
+        Whether the block participates in power gating (gating events
+        produce the large current swings that cause voltage emergencies).
+    """
+
+    name: str
+    unit: UnitKind
+    rect: Rect
+    core_index: int
+    power_weight: float = 1.0
+    gateable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("block name must be non-empty")
+        if self.power_weight < 0:
+            raise ValueError(f"power_weight must be >= 0, got {self.power_weight}")
+
+    @property
+    def is_uncore(self) -> bool:
+        """True for blocks outside any core (shared L3, MCs...)."""
+        return self.core_index < 0
+
+    def with_rect(self, rect: Rect) -> "FunctionBlock":
+        """Return a copy with a different outline."""
+        return FunctionBlock(
+            name=self.name,
+            unit=self.unit,
+            rect=rect,
+            core_index=self.core_index,
+            power_weight=self.power_weight,
+            gateable=self.gateable,
+        )

@@ -1,0 +1,139 @@
+"""The :class:`Floorplan` container: blocks + chip outline + FA/BA query.
+
+The paper partitions the chip into the *function area* (FA) — the union
+of all function-block outlines — and the *blank area* (BA) — everything
+else.  Sensors may only be placed in BA; the voltages to be monitored
+live at noise-critical nodes inside FA blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.floorplan.blocks import FunctionBlock, UnitKind
+from repro.floorplan.geometry import Point, Rect
+
+__all__ = ["Floorplan"]
+
+
+@dataclass
+class Floorplan:
+    """A chip floorplan: outline, cores, and function blocks.
+
+    Parameters
+    ----------
+    chip:
+        The full chip outline (origin must be at (0, 0)).
+    blocks:
+        All function blocks.  Block outlines must lie inside the chip and
+        must not overlap each other.
+    core_rects:
+        Outline of each core (used for per-core grouping of sensors and
+        candidates).  May be empty for single-core or abstract designs.
+    name:
+        Human-readable floorplan name.
+    """
+
+    chip: Rect
+    blocks: List[FunctionBlock]
+    core_rects: List[Rect] = field(default_factory=list)
+    name: str = "floorplan"
+
+    def __post_init__(self) -> None:
+        if self.chip.x != 0.0 or self.chip.y != 0.0:
+            raise ValueError("chip outline must have its origin at (0, 0)")
+        if self.chip.area <= 0:
+            raise ValueError("chip outline must have positive area")
+        names = set()
+        for block in self.blocks:
+            if block.name in names:
+                raise ValueError(f"duplicate block name: {block.name}")
+            names.add(block.name)
+            r = block.rect
+            if r.x < -1e-9 or r.y < -1e-9 or r.x2 > self.chip.x2 + 1e-9 or r.y2 > self.chip.y2 + 1e-9:
+                raise ValueError(f"block {block.name} extends outside the chip")
+        for i, a in enumerate(self.blocks):
+            for b in self.blocks[i + 1 :]:
+                if a.rect.overlaps(b.rect):
+                    raise ValueError(f"blocks {a.name} and {b.name} overlap")
+        self._by_name: Dict[str, FunctionBlock] = {b.name: b for b in self.blocks}
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def n_blocks(self) -> int:
+        """Number of function blocks (the paper's K when one node/block)."""
+        return len(self.blocks)
+
+    @property
+    def n_cores(self) -> int:
+        """Number of cores in the floorplan."""
+        return len(self.core_rects)
+
+    def block(self, name: str) -> FunctionBlock:
+        """Return the block called ``name`` (KeyError if absent)."""
+        return self._by_name[name]
+
+    def block_at(self, point: Point) -> Optional[FunctionBlock]:
+        """Return the block containing ``point``, or None if in BA."""
+        for blk in self.blocks:
+            if blk.rect.contains(point):
+                return blk
+        return None
+
+    def in_function_area(self, point: Point) -> bool:
+        """True if ``point`` lies inside any function block (FA)."""
+        return self.block_at(point) is not None
+
+    def in_blank_area(self, point: Point) -> bool:
+        """True if ``point`` is on-chip but outside every block (BA)."""
+        if not self.chip.contains(point, tol=1e-9):
+            return False
+        return not self.in_function_area(point)
+
+    def core_of_point(self, point: Point) -> int:
+        """Return the index of the core containing ``point``, else -1."""
+        for idx, rect in enumerate(self.core_rects):
+            if rect.contains(point):
+                return idx
+        return -1
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def function_area(self) -> float:
+        """Total FA area in mm^2 (blocks are disjoint by construction)."""
+        return sum(b.rect.area for b in self.blocks)
+
+    @property
+    def blank_area(self) -> float:
+        """Total BA area in mm^2."""
+        return self.chip.area - self.function_area
+
+    def blocks_in_core(self, core_index: int) -> List[FunctionBlock]:
+        """All blocks assigned to ``core_index`` (``-1`` for uncore)."""
+        return [b for b in self.blocks if b.core_index == core_index]
+
+    def blocks_of_unit(self, unit: UnitKind) -> List[FunctionBlock]:
+        """All blocks belonging to unit family ``unit``."""
+        return [b for b in self.blocks if b.unit == unit]
+
+    def summary(self) -> str:
+        """One-paragraph description for logs and reports."""
+        per_core = {}
+        for b in self.blocks:
+            per_core[b.core_index] = per_core.get(b.core_index, 0) + 1
+        core_desc = ", ".join(
+            f"core{k}: {v}" if k >= 0 else f"uncore: {v}"
+            for k, v in sorted(per_core.items())
+        )
+        return (
+            f"{self.name}: {self.chip.width:.1f}x{self.chip.height:.1f} mm, "
+            f"{self.n_cores} cores, {self.n_blocks} blocks ({core_desc}), "
+            f"FA {self.function_area:.1f} mm^2 "
+            f"({100 * self.function_area / self.chip.area:.0f}%), "
+            f"BA {self.blank_area:.1f} mm^2"
+        )

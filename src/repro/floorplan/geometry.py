@@ -1,0 +1,129 @@
+"""Planar geometry primitives for floorplans.
+
+Coordinates are in millimetres with the origin at the chip's lower-left
+corner, x growing rightwards and y growing upwards.  All shapes are
+axis-aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["Point", "Rect"]
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in chip coordinates (mm)."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in mm."""
+        return ((self.x - other.x) ** 2 + (self.y - other.y) ** 2) ** 0.5
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle given by its lower-left corner and size."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width < 0 or self.height < 0:
+            raise ValueError(
+                f"Rect size must be non-negative, got {self.width}x{self.height}"
+            )
+
+    @property
+    def x2(self) -> float:
+        """Right edge coordinate."""
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        """Top edge coordinate."""
+        return self.y + self.height
+
+    @property
+    def area(self) -> float:
+        """Rectangle area in mm^2."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        """Geometric center."""
+        return Point(self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    def contains(self, point: Point, *, tol: float = 0.0) -> bool:
+        """Return True if ``point`` lies inside (or within ``tol`` of) the rect.
+
+        The lower/left edges are inclusive and the upper/right edges are
+        exclusive so that adjacent rectangles tile the plane without
+        double-claiming boundary points (for ``tol == 0``).
+        """
+        return (
+            self.x - tol <= point.x < self.x2 + tol
+            and self.y - tol <= point.y < self.y2 + tol
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        """Return True if the two rectangles have positive-area overlap."""
+        return (
+            self.x < other.x2
+            and other.x < self.x2
+            and self.y < other.y2
+            and other.y < self.y2
+        )
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Rect(self.x + dx, self.y + dy, self.width, self.height)
+
+    def shrunk(self, margin: float) -> "Rect":
+        """Return a copy shrunk inward by ``margin`` on all sides.
+
+        Raises :class:`ValueError` if the margin would invert the rect.
+        """
+        if 2 * margin > min(self.width, self.height):
+            raise ValueError(
+                f"margin {margin} too large for {self.width}x{self.height} rect"
+            )
+        return Rect(
+            self.x + margin, self.y + margin, self.width - 2 * margin, self.height - 2 * margin
+        )
+
+    def grid_partition(self, n_cols: int, n_rows: int) -> List["Rect"]:
+        """Split the rect into an ``n_cols`` x ``n_rows`` grid of tiles.
+
+        Tiles are returned row-major from the lower-left.
+        """
+        if n_cols <= 0 or n_rows <= 0:
+            raise ValueError("partition counts must be positive")
+        tile_w = self.width / n_cols
+        tile_h = self.height / n_rows
+        tiles = []
+        for r in range(n_rows):
+            for c in range(n_cols):
+                tiles.append(
+                    Rect(self.x + c * tile_w, self.y + r * tile_h, tile_w, tile_h)
+                )
+        return tiles
+
+    def corners(self) -> Tuple[Point, Point, Point, Point]:
+        """Return the four corners (ll, lr, ur, ul)."""
+        return (
+            Point(self.x, self.y),
+            Point(self.x2, self.y),
+            Point(self.x2, self.y2),
+            Point(self.x, self.y2),
+        )

@@ -1,0 +1,234 @@
+"""Generator for the paper's evaluation floorplan.
+
+The paper evaluates on a "22nm homogeneous 8-core Intel Xeon E5-like
+multiprocessor (2.5 GHz) with 30 function blocks in each core".  This
+module builds a parameterized equivalent: cores tiled in a grid, each
+core carved into 30 function blocks grouped into functional units, with
+blank-area (BA) channels between blocks, between cores, and around the
+chip periphery where noise sensors may be placed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.floorplan.blocks import FunctionBlock, UnitKind
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.geometry import Rect
+
+__all__ = [
+    "XEON_CORE_TEMPLATE",
+    "SMALL_CORE_TEMPLATE",
+    "UNIT_POWER_WEIGHT",
+    "UNIT_GATEABLE",
+    "make_xeon_e5_floorplan",
+    "make_small_floorplan",
+]
+
+# ----------------------------------------------------------------------
+# Core templates: a template is a list of rows (bottom -> top), each row a
+# list of UnitKind entries; the core rect is partitioned into
+# len(rows) x len(row) tiles and each tile hosts one block of that unit.
+# ----------------------------------------------------------------------
+
+_K = UnitKind
+
+#: 30-block template matching the paper's per-core block count
+#: (6 columns x 5 rows).  Unit mix: 6 execution, 4 FPU, 4 OOO,
+#: 4 load/store, 4 L1, 3 L2, 5 front-end.
+XEON_CORE_TEMPLATE: List[List[UnitKind]] = [
+    [_K.L2_CACHE, _K.L2_CACHE, _K.L2_CACHE, _K.L1_CACHE, _K.L1_CACHE, _K.L1_CACHE],
+    [_K.L1_CACHE, _K.LOAD_STORE, _K.LOAD_STORE, _K.LOAD_STORE, _K.LOAD_STORE, _K.EXECUTION],
+    [_K.EXECUTION, _K.EXECUTION, _K.EXECUTION, _K.EXECUTION, _K.EXECUTION, _K.FPU],
+    [_K.FPU, _K.FPU, _K.FPU, _K.OOO, _K.OOO, _K.OOO],
+    [_K.OOO, _K.FRONTEND, _K.FRONTEND, _K.FRONTEND, _K.FRONTEND, _K.FRONTEND],
+]
+
+#: Compact 6-block template (3 x 2) for fast unit tests.
+SMALL_CORE_TEMPLATE: List[List[UnitKind]] = [
+    [_K.L1_CACHE, _K.EXECUTION, _K.LOAD_STORE],
+    [_K.FRONTEND, _K.EXECUTION, _K.FPU],
+]
+
+#: Relative dynamic-power weight per block of each unit family.  The
+#: execution unit is the hottest/noisiest, matching the paper's Fig. 3
+#: discussion (Eagle-Eye clusters sensors around the execution unit
+#: because it has the worst voltage noise).
+UNIT_POWER_WEIGHT = {
+    _K.FRONTEND: 1.2,
+    _K.EXECUTION: 3.0,
+    _K.FPU: 2.2,
+    _K.LOAD_STORE: 1.5,
+    _K.L1_CACHE: 0.8,
+    _K.L2_CACHE: 0.5,
+    _K.OOO: 1.6,
+    _K.UNCORE: 0.6,
+}
+
+#: Which unit families participate in power gating (the source of large
+#: di/dt current swings when idle units wake up or shut down).
+UNIT_GATEABLE = {
+    _K.FRONTEND: False,
+    _K.EXECUTION: True,
+    _K.FPU: True,
+    _K.LOAD_STORE: True,
+    _K.L1_CACHE: False,
+    _K.L2_CACHE: False,
+    _K.OOO: True,
+    _K.UNCORE: False,
+}
+
+
+def _build_core_blocks(
+    core_index: int,
+    core_rect: Rect,
+    template: Sequence[Sequence[UnitKind]],
+    block_gap: float,
+) -> List[FunctionBlock]:
+    """Carve one core rect into blocks following ``template``."""
+    n_rows = len(template)
+    blocks: List[FunctionBlock] = []
+    unit_counters: dict = {}
+    for r, row in enumerate(template):
+        n_cols = len(row)
+        tile_w = core_rect.width / n_cols
+        tile_h = core_rect.height / n_rows
+        for c, unit in enumerate(row):
+            tile = Rect(
+                core_rect.x + c * tile_w,
+                core_rect.y + r * tile_h,
+                tile_w,
+                tile_h,
+            )
+            block_rect = tile.shrunk(block_gap)
+            idx = unit_counters.get(unit, 0)
+            unit_counters[unit] = idx + 1
+            blocks.append(
+                FunctionBlock(
+                    name=f"core{core_index}/{unit.value}{idx}",
+                    unit=unit,
+                    rect=block_rect,
+                    core_index=core_index,
+                    power_weight=UNIT_POWER_WEIGHT[unit],
+                    gateable=UNIT_GATEABLE[unit],
+                )
+            )
+    return blocks
+
+
+def make_xeon_e5_floorplan(
+    core_cols: int = 4,
+    core_rows: int = 2,
+    core_width: float = 4.0,
+    core_height: float = 3.2,
+    channel: float = 0.6,
+    periphery: float = 0.5,
+    block_gap: float = 0.09,
+    template: Optional[Sequence[Sequence[UnitKind]]] = None,
+    include_uncore: bool = False,
+    name: str = "xeon-e5-like-8core",
+) -> Floorplan:
+    """Build the 8-core Xeon-E5-like floorplan used in the experiments.
+
+    Parameters
+    ----------
+    core_cols, core_rows:
+        Core array shape; the default 4 x 2 yields the paper's 8 cores.
+    core_width, core_height:
+        Per-core outline in mm.
+    channel:
+        Width of the BA routing channel between adjacent cores (mm).
+    periphery:
+        BA margin around the core array (mm).
+    block_gap:
+        BA margin carved around every block inside a core (mm); these
+        intra-core channels are where most sensor candidates live.
+    template:
+        Core block template (defaults to the 30-block
+        :data:`XEON_CORE_TEMPLATE`).
+    include_uncore:
+        When True, add a row of shared-L3 uncore blocks above the core
+        array (an extension beyond the paper's 8x30-block setup).
+    name:
+        Floorplan name.
+
+    Returns
+    -------
+    Floorplan
+        Validated floorplan with ``core_cols * core_rows`` cores.
+    """
+    if core_cols <= 0 or core_rows <= 0:
+        raise ValueError("core array shape must be positive")
+    if template is None:
+        template = XEON_CORE_TEMPLATE
+
+    uncore_band = core_height * 0.5 + channel if include_uncore else 0.0
+    chip_w = 2 * periphery + core_cols * core_width + (core_cols - 1) * channel
+    chip_h = (
+        2 * periphery
+        + core_rows * core_height
+        + (core_rows - 1) * channel
+        + uncore_band
+    )
+    chip = Rect(0.0, 0.0, chip_w, chip_h)
+
+    core_rects: List[Rect] = []
+    blocks: List[FunctionBlock] = []
+    core_index = 0
+    for r in range(core_rows):
+        for c in range(core_cols):
+            rect = Rect(
+                periphery + c * (core_width + channel),
+                periphery + r * (core_height + channel),
+                core_width,
+                core_height,
+            )
+            core_rects.append(rect)
+            blocks.extend(_build_core_blocks(core_index, rect, template, block_gap))
+            core_index += 1
+
+    if include_uncore:
+        band_y = periphery + core_rows * core_height + (core_rows - 1) * channel + channel
+        band = Rect(periphery, band_y, chip_w - 2 * periphery, core_height * 0.5)
+        n_slices = core_cols * core_rows
+        tile_w = band.width / n_slices
+        for s in range(n_slices):
+            tile = Rect(band.x + s * tile_w, band.y, tile_w, band.height)
+            blocks.append(
+                FunctionBlock(
+                    name=f"uncore/l3_slice{s}",
+                    unit=UnitKind.UNCORE,
+                    rect=tile.shrunk(block_gap),
+                    core_index=-1,
+                    power_weight=UNIT_POWER_WEIGHT[UnitKind.UNCORE],
+                    gateable=UNIT_GATEABLE[UnitKind.UNCORE],
+                )
+            )
+
+    return Floorplan(chip=chip, blocks=blocks, core_rects=core_rects, name=name)
+
+
+def make_small_floorplan(
+    n_cores: int = 2,
+    name: str = "small-test-chip",
+) -> Floorplan:
+    """Build a compact floorplan for fast tests (6 blocks per core).
+
+    Parameters
+    ----------
+    n_cores:
+        Number of cores, laid out in a single row.
+    """
+    if n_cores <= 0:
+        raise ValueError("n_cores must be positive")
+    return make_xeon_e5_floorplan(
+        core_cols=n_cores,
+        core_rows=1,
+        core_width=2.4,
+        core_height=1.6,
+        channel=0.4,
+        periphery=0.4,
+        block_gap=0.08,
+        template=SMALL_CORE_TEMPLATE,
+        name=name,
+    )

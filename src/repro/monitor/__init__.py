@@ -1,0 +1,6 @@
+"""Runtime monitoring: streaming emergency detection over a fitted
+placement, with debouncing, event logs and session statistics."""
+
+from repro.monitor.runtime import EmergencyEvent, MonitorStats, VoltageMonitor
+
+__all__ = ["EmergencyEvent", "MonitorStats", "VoltageMonitor"]

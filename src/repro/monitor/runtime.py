@@ -1,0 +1,181 @@
+"""Streaming runtime voltage monitor.
+
+The deployable half of the methodology: at design time a
+:class:`~repro.core.pipeline.PlacementModel` is fitted; at runtime only
+the placed sensors are read each cycle, the model predicts every
+monitored block's voltage, and emergencies are flagged (optionally with
+debouncing, which real throttling controllers need to avoid reacting to
+single-cycle glitches).
+
+The monitor keeps an event log and running statistics, which the
+dynamic-noise-management examples and tests consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.pipeline import PlacementModel
+from repro.utils.validation import check_integer, check_positive
+
+__all__ = ["EmergencyEvent", "MonitorStats", "VoltageMonitor"]
+
+
+@dataclass(frozen=True)
+class EmergencyEvent:
+    """One contiguous alarm episode.
+
+    Attributes
+    ----------
+    start_cycle, end_cycle:
+        First and last cycle of the episode (inclusive).
+    min_predicted:
+        Deepest predicted voltage during the episode (V).
+    worst_block:
+        Index of the block with the deepest prediction.
+    """
+
+    start_cycle: int
+    end_cycle: int
+    min_predicted: float
+    worst_block: int
+
+    @property
+    def duration(self) -> int:
+        """Episode length in cycles."""
+        return self.end_cycle - self.start_cycle + 1
+
+
+@dataclass
+class MonitorStats:
+    """Aggregate statistics of a monitoring session.
+
+    Attributes
+    ----------
+    cycles:
+        Cycles processed.
+    alarm_cycles:
+        Cycles with an active (debounced) alarm.
+    events:
+        Completed alarm episodes.
+    min_predicted:
+        Deepest prediction seen overall (V).
+    """
+
+    cycles: int = 0
+    alarm_cycles: int = 0
+    events: int = 0
+    min_predicted: float = float("inf")
+
+
+class VoltageMonitor:
+    """Cycle-by-cycle emergency monitor over a fitted placement.
+
+    Parameters
+    ----------
+    model:
+        The fitted placement/prediction model.
+    threshold:
+        Emergency threshold in volts.
+    debounce:
+        Number of consecutive below-threshold cycles required before
+        the alarm asserts (1 = immediate, the paper's semantics).
+    on_emergency:
+        Optional callback invoked with each completed
+        :class:`EmergencyEvent` (e.g. a throttling hook).
+    """
+
+    def __init__(
+        self,
+        model: PlacementModel,
+        threshold: float,
+        debounce: int = 1,
+        on_emergency: Optional[Callable[[EmergencyEvent], None]] = None,
+    ) -> None:
+        check_positive(threshold, "threshold")
+        check_integer(debounce, "debounce", minimum=1)
+        self.model = model
+        self.threshold = threshold
+        self.debounce = debounce
+        self.on_emergency = on_emergency
+        self.stats = MonitorStats()
+        self.events: List[EmergencyEvent] = []
+        self._below_streak = 0
+        self._alarm_active = False
+        self._episode_start = 0
+        self._episode_min = float("inf")
+        self._episode_block = -1
+        self._cycle = 0
+
+    @property
+    def alarm_active(self) -> bool:
+        """Whether the (debounced) alarm is currently asserted."""
+        return self._alarm_active
+
+    def step(self, candidate_voltages: np.ndarray) -> bool:
+        """Process one cycle of sensor data; returns the alarm state.
+
+        Parameters
+        ----------
+        candidate_voltages:
+            ``(M,)`` candidate-voltage vector; only the model's sensor
+            columns are read (the physical measurements).
+        """
+        pred = self.model.predict(candidate_voltages)[0]
+        v_min = float(pred.min())
+        block = int(np.argmin(pred))
+
+        self.stats.cycles += 1
+        self.stats.min_predicted = min(self.stats.min_predicted, v_min)
+
+        if v_min < self.threshold:
+            self._below_streak += 1
+        else:
+            self._below_streak = 0
+
+        if not self._alarm_active and self._below_streak >= self.debounce:
+            self._alarm_active = True
+            self._episode_start = self._cycle - (self.debounce - 1)
+            self._episode_min = v_min
+            self._episode_block = block
+        elif self._alarm_active:
+            if v_min < self._episode_min:
+                self._episode_min = v_min
+                self._episode_block = block
+            if v_min >= self.threshold:
+                self._close_episode(self._cycle - 1)
+
+        if self._alarm_active:
+            self.stats.alarm_cycles += 1
+        self._cycle += 1
+        return self._alarm_active
+
+    def _close_episode(self, end_cycle: int) -> None:
+        event = EmergencyEvent(
+            start_cycle=self._episode_start,
+            end_cycle=end_cycle,
+            min_predicted=self._episode_min,
+            worst_block=self._episode_block,
+        )
+        self.events.append(event)
+        self.stats.events += 1
+        self._alarm_active = False
+        self._below_streak = 0
+        if self.on_emergency is not None:
+            self.on_emergency(event)
+
+    def run(self, stream: np.ndarray) -> np.ndarray:
+        """Process a whole ``(n_cycles, M)`` stream; returns alarm flags."""
+        stream = np.asarray(stream, dtype=float)
+        if stream.ndim != 2:
+            raise ValueError("stream must be (n_cycles, M)")
+        return np.array([self.step(row) for row in stream], dtype=bool)
+
+    def finish(self) -> MonitorStats:
+        """Close any open episode and return the session statistics."""
+        if self._alarm_active:
+            self._close_episode(self._cycle - 1)
+        return self.stats

@@ -1,0 +1,241 @@
+"""On-die power-grid topology.
+
+The grid is the electrical substrate of the whole reproduction: a
+regular resistive mesh covering the die, with per-node decoupling
+capacitance and a set of supply pads.  Transient simulation of this grid
+(:mod:`repro.powergrid.transient`) produces the voltage maps from which
+the paper's training samples are drawn.
+
+The mesh abstracts the full metal stack into a single effective layer —
+standard practice for chip-level power-integrity studies — because the
+statistical property the methodology relies on (strong spatial
+correlation of neighbouring node voltages [13]) is produced by the mesh
+physics regardless of stack detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.powergrid.pads import Pad, uniform_pad_array
+from repro.utils.validation import check_positive
+
+__all__ = ["PowerGrid"]
+
+
+@dataclass
+class PowerGrid:
+    """A resistive mesh power grid with decap and supply pads.
+
+    Use :meth:`regular_mesh` to construct a standard uniform grid; the
+    raw constructor accepts arbitrary topologies (irregular grids,
+    pruned regions) as long as the arrays are consistent.
+
+    Parameters
+    ----------
+    coords:
+        ``(n_nodes, 2)`` node positions in mm.
+    edge_nodes:
+        ``(n_edges, 2)`` integer array of node index pairs.
+    edge_conductance:
+        ``(n_edges,)`` branch conductances in siemens.
+    node_cap:
+        ``(n_nodes,)`` decoupling capacitance per node in farads.
+    pads:
+        Supply pads tying nodes to VDD through package parasitics.
+    vdd:
+        Nominal supply voltage (the paper uses 1.0 V).
+    nx, ny, pitch:
+        Mesh shape metadata for regular grids (0/0/0 for irregular).
+    """
+
+    coords: np.ndarray
+    edge_nodes: np.ndarray
+    edge_conductance: np.ndarray
+    node_cap: np.ndarray
+    pads: List[Pad] = field(default_factory=list)
+    vdd: float = 1.0
+    nx: int = 0
+    ny: int = 0
+    pitch: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.coords = np.asarray(self.coords, dtype=float)
+        self.edge_nodes = np.asarray(self.edge_nodes, dtype=np.int64)
+        self.edge_conductance = np.asarray(self.edge_conductance, dtype=float)
+        self.node_cap = np.asarray(self.node_cap, dtype=float)
+        n = self.coords.shape[0]
+        if self.coords.ndim != 2 or self.coords.shape[1] != 2:
+            raise ValueError("coords must be (n_nodes, 2)")
+        if n == 0:
+            raise ValueError("grid must have at least one node")
+        if self.edge_nodes.ndim != 2 or self.edge_nodes.shape[1] != 2:
+            raise ValueError("edge_nodes must be (n_edges, 2)")
+        if self.edge_conductance.shape[0] != self.edge_nodes.shape[0]:
+            raise ValueError("edge_conductance length must match edge count")
+        if np.any(self.edge_conductance <= 0):
+            raise ValueError("edge conductances must be positive")
+        if self.edge_nodes.size and (
+            self.edge_nodes.min() < 0 or self.edge_nodes.max() >= n
+        ):
+            raise ValueError("edge node index out of range")
+        if np.any(self.edge_nodes[:, 0] == self.edge_nodes[:, 1]):
+            raise ValueError("self-loop edges are not allowed")
+        if self.node_cap.shape[0] != n:
+            raise ValueError("node_cap length must match node count")
+        if np.any(self.node_cap < 0):
+            raise ValueError("node capacitances must be non-negative")
+        for pad in self.pads:
+            if pad.node >= n:
+                raise ValueError(f"pad node {pad.node} out of range")
+        check_positive(self.vdd, "vdd")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def regular_mesh(
+        cls,
+        width: float,
+        height: float,
+        pitch: float,
+        sheet_resistance: float = 0.04,
+        cap_per_mm2: float = 1.5e-9,
+        vdd: float = 1.0,
+        pads: Optional[List[Pad]] = None,
+        pad_pitch: float = 2.0,
+        pad_resistance: float = 0.02,
+        pad_inductance: float = 50e-12,
+    ) -> "PowerGrid":
+        """Build a uniform rectangular mesh covering ``width`` x ``height`` mm.
+
+        Parameters
+        ----------
+        width, height:
+            Die extents in mm.
+        pitch:
+            Node spacing in mm (same in x and y).
+        sheet_resistance:
+            Effective grid sheet resistance in ohms/square; for a square
+            mesh cell each branch resistance equals this value.
+        cap_per_mm2:
+            Decap density in F/mm^2 (each node gets
+            ``cap_per_mm2 * pitch^2``).
+        vdd:
+            Nominal supply.
+        pads:
+            Explicit pad list; when None, a uniform flip-chip pad array
+            with ``pad_pitch`` / ``pad_resistance`` / ``pad_inductance``
+            is generated.
+
+        Returns
+        -------
+        PowerGrid
+        """
+        check_positive(width, "width")
+        check_positive(height, "height")
+        check_positive(pitch, "pitch")
+        check_positive(sheet_resistance, "sheet_resistance")
+        check_positive(cap_per_mm2, "cap_per_mm2")
+
+        nx = int(round(width / pitch)) + 1
+        ny = int(round(height / pitch)) + 1
+        xs = np.linspace(0.0, width, nx)
+        ys = np.linspace(0.0, height, ny)
+        gx, gy = np.meshgrid(xs, ys, indexing="xy")
+        coords = np.column_stack([gx.ravel(), gy.ravel()])
+
+        def node(ix: int, iy: int) -> int:
+            return iy * nx + ix
+
+        edges: List[Tuple[int, int]] = []
+        for iy in range(ny):
+            for ix in range(nx):
+                if ix + 1 < nx:
+                    edges.append((node(ix, iy), node(ix + 1, iy)))
+                if iy + 1 < ny:
+                    edges.append((node(ix, iy), node(ix, iy + 1)))
+        edge_nodes = np.asarray(edges, dtype=np.int64)
+        g_branch = 1.0 / sheet_resistance
+        edge_conductance = np.full(edge_nodes.shape[0], g_branch)
+        node_cap = np.full(coords.shape[0], cap_per_mm2 * pitch * pitch)
+
+        grid = cls(
+            coords=coords,
+            edge_nodes=edge_nodes,
+            edge_conductance=edge_conductance,
+            node_cap=node_cap,
+            pads=[],
+            vdd=vdd,
+            nx=nx,
+            ny=ny,
+            pitch=pitch,
+        )
+        if pads is None:
+            pads = uniform_pad_array(
+                grid,
+                pitch=pad_pitch,
+                resistance=pad_resistance,
+                inductance=pad_inductance,
+            )
+        grid.pads = pads
+        grid.__post_init__()
+        return grid
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of grid nodes."""
+        return self.coords.shape[0]
+
+    @property
+    def n_edges(self) -> int:
+        """Number of resistive branches."""
+        return self.edge_nodes.shape[0]
+
+    @property
+    def width(self) -> float:
+        """Die width spanned by the grid (mm)."""
+        return float(self.coords[:, 0].max())
+
+    @property
+    def height(self) -> float:
+        """Die height spanned by the grid (mm)."""
+        return float(self.coords[:, 1].max())
+
+    @property
+    def total_decap(self) -> float:
+        """Total on-die decoupling capacitance (F)."""
+        return float(self.node_cap.sum())
+
+    def nearest_node(self, x: float, y: float) -> int:
+        """Index of the grid node nearest to ``(x, y)``."""
+        d2 = (self.coords[:, 0] - x) ** 2 + (self.coords[:, 1] - y) ** 2
+        return int(np.argmin(d2))
+
+    def node_position(self, index: int) -> Tuple[float, float]:
+        """Position ``(x, y)`` of node ``index`` in mm."""
+        return float(self.coords[index, 0]), float(self.coords[index, 1])
+
+    def neighbors(self, index: int) -> List[int]:
+        """Node indices adjacent to ``index`` through a branch."""
+        mask_a = self.edge_nodes[:, 0] == index
+        mask_b = self.edge_nodes[:, 1] == index
+        return sorted(
+            set(self.edge_nodes[mask_a, 1].tolist())
+            | set(self.edge_nodes[mask_b, 0].tolist())
+        )
+
+    def summary(self) -> str:
+        """One-line description for logs."""
+        return (
+            f"PowerGrid {self.width:.1f}x{self.height:.1f} mm, "
+            f"{self.n_nodes} nodes ({self.nx}x{self.ny} @ {self.pitch} mm), "
+            f"{self.n_edges} branches, {len(self.pads)} pads, "
+            f"decap {self.total_decap * 1e9:.1f} nF, VDD {self.vdd} V"
+        )

@@ -1,0 +1,195 @@
+"""Two-layer power-grid construction.
+
+Real power delivery stacks a fine-pitch device-layer mesh under a
+coarse, low-resistance top-metal mesh, stitched by via arrays; supply
+pads land on the top metal and load currents are drawn from the device
+layer.  This module builds that structure as a single
+:class:`~repro.powergrid.grid.PowerGrid` (the MNA solvers are
+topology-agnostic) plus the layer bookkeeping downstream code needs:
+
+* ``device_nodes`` — the indices covering the die at the fine pitch,
+  where loads attach and where floorplan classification applies;
+* ``top_nodes`` — the coarse top-metal nodes carrying the pads.
+
+The single-layer :meth:`PowerGrid.regular_mesh` remains the default
+experiment substrate (its effective sheet resistance already lumps the
+stack); the two-layer form exists for power-integrity studies where the
+stack split matters (e.g. via starvation, top-metal loading).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.powergrid.grid import PowerGrid
+from repro.powergrid.pads import Pad
+from repro.utils.validation import check_positive
+
+__all__ = ["TwoLayerGrid", "two_layer_mesh"]
+
+
+@dataclass
+class TwoLayerGrid:
+    """A two-layer grid with layer bookkeeping.
+
+    Attributes
+    ----------
+    grid:
+        The combined electrical network (device + top metal + vias).
+    device_nodes:
+        Indices of the device-layer nodes (loads, floorplan
+        classification).
+    top_nodes:
+        Indices of the top-metal nodes (pads).
+    """
+
+    grid: PowerGrid
+    device_nodes: np.ndarray
+    top_nodes: np.ndarray
+
+    @property
+    def n_device_nodes(self) -> int:
+        """Device-layer node count."""
+        return self.device_nodes.shape[0]
+
+    def device_coords(self) -> np.ndarray:
+        """``(n_device, 2)`` device-layer node positions (mm)."""
+        return self.grid.coords[self.device_nodes]
+
+
+def _mesh_edges(nx: int, ny: int, offset: int) -> List[Tuple[int, int]]:
+    edges: List[Tuple[int, int]] = []
+    for iy in range(ny):
+        for ix in range(nx):
+            node = offset + iy * nx + ix
+            if ix + 1 < nx:
+                edges.append((node, node + 1))
+            if iy + 1 < ny:
+                edges.append((node, node + nx))
+    return edges
+
+
+def two_layer_mesh(
+    width: float,
+    height: float,
+    device_pitch: float = 0.2,
+    top_pitch_factor: int = 4,
+    device_sheet_resistance: float = 0.08,
+    top_sheet_resistance: float = 0.01,
+    via_resistance: float = 0.05,
+    cap_per_mm2: float = 1.5e-9,
+    vdd: float = 1.0,
+    pad_pitch: float = 2.0,
+    pad_resistance: float = 0.02,
+    pad_inductance: float = 50e-12,
+) -> TwoLayerGrid:
+    """Build a stitched device + top-metal grid.
+
+    Parameters
+    ----------
+    width, height:
+        Die extents (mm).
+    device_pitch:
+        Device-layer node pitch (mm).
+    top_pitch_factor:
+        Top-metal pitch as an integer multiple of the device pitch;
+        top nodes sit exactly above every ``factor``-th device node and
+        connect down through a via.
+    device_sheet_resistance, top_sheet_resistance:
+        Per-layer sheet resistances (ohm/sq); top metal is much less
+        resistive.
+    via_resistance:
+        Resistance of each inter-layer via stack (ohm).
+    cap_per_mm2:
+        Decap density, applied on the device layer only (that is where
+        the decap cells live).
+    vdd, pad_pitch, pad_resistance, pad_inductance:
+        Supply and pad parameters; pads attach to the nearest *top*
+        node.
+
+    Returns
+    -------
+    TwoLayerGrid
+    """
+    check_positive(device_pitch, "device_pitch")
+    if top_pitch_factor < 2:
+        raise ValueError("top_pitch_factor must be >= 2")
+    check_positive(via_resistance, "via_resistance")
+
+    nx = int(round(width / device_pitch)) + 1
+    ny = int(round(height / device_pitch)) + 1
+    xs = np.linspace(0.0, width, nx)
+    ys = np.linspace(0.0, height, ny)
+    gx, gy = np.meshgrid(xs, ys, indexing="xy")
+    device_coords = np.column_stack([gx.ravel(), gy.ravel()])
+    n_device = device_coords.shape[0]
+
+    top_ix = np.arange(0, nx, top_pitch_factor)
+    top_iy = np.arange(0, ny, top_pitch_factor)
+    if top_ix.size < 2 or top_iy.size < 2:
+        raise ValueError("top layer needs at least a 2x2 mesh; reduce the factor")
+    top_nx, top_ny = top_ix.size, top_iy.size
+    top_coords = np.column_stack(
+        [
+            np.tile(xs[top_ix], top_ny),
+            np.repeat(ys[top_iy], top_nx),
+        ]
+    )
+    n_top = top_coords.shape[0]
+
+    coords = np.vstack([device_coords, top_coords])
+    edges: List[Tuple[int, int]] = []
+    conductances: List[float] = []
+
+    # Device-layer mesh.
+    for a, b in _mesh_edges(nx, ny, 0):
+        edges.append((a, b))
+        conductances.append(1.0 / device_sheet_resistance)
+    # Top-metal mesh.
+    for a, b in _mesh_edges(top_nx, top_ny, n_device):
+        edges.append((a, b))
+        conductances.append(1.0 / top_sheet_resistance)
+    # Vias: each top node down to its coincident device node.
+    for t in range(n_top):
+        iy, ix = divmod(t, top_nx)
+        device_index = int(top_iy[iy]) * nx + int(top_ix[ix])
+        edges.append((n_device + t, device_index))
+        conductances.append(1.0 / via_resistance)
+
+    node_cap = np.zeros(n_device + n_top)
+    node_cap[:n_device] = cap_per_mm2 * device_pitch * device_pitch
+
+    grid = PowerGrid(
+        coords=coords,
+        edge_nodes=np.asarray(edges, dtype=np.int64),
+        edge_conductance=np.asarray(conductances),
+        node_cap=node_cap,
+        pads=[],
+        vdd=vdd,
+    )
+    # Pads on the nearest top node.
+    pads: List[Pad] = []
+    seen = set()
+    for y in np.arange(pad_pitch / 2.0, height, pad_pitch):
+        for x in np.arange(pad_pitch / 2.0, width, pad_pitch):
+            d2 = ((top_coords[:, 0] - x) ** 2 + (top_coords[:, 1] - y) ** 2)
+            node = n_device + int(np.argmin(d2))
+            if node in seen:
+                continue
+            seen.add(node)
+            pads.append(
+                Pad(node=node, resistance=pad_resistance, inductance=pad_inductance)
+            )
+    if not pads:
+        raise ValueError("pad pitch produced no pads")
+    grid.pads = pads
+    grid.__post_init__()
+
+    return TwoLayerGrid(
+        grid=grid,
+        device_nodes=np.arange(n_device, dtype=np.int64),
+        top_nodes=np.arange(n_device, n_device + n_top, dtype=np.int64),
+    )

@@ -1,0 +1,166 @@
+"""SPICE-compatible netlist export of the power grid.
+
+Lets users cross-check this library's transient results against an
+external circuit simulator (ngspice/HSPICE): the exported deck contains
+the mesh resistors, node decaps, and the pad R-L branches to an ideal
+VDD source.  A minimal parser reads the same dialect back for
+round-trip tests.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, TextIO, Tuple, Union
+
+import numpy as np
+
+from repro.powergrid.grid import PowerGrid
+from repro.powergrid.pads import Pad
+
+__all__ = ["export_spice", "parse_spice"]
+
+_VDD_NET = "vdd_ideal"
+
+
+def _node_name(index: int) -> str:
+    return f"n{index}"
+
+
+def export_spice(grid: PowerGrid, target: Union[str, TextIO]) -> None:
+    """Write ``grid`` as a SPICE deck to a path or file object.
+
+    The deck structure:
+
+    * ``R<i> nA nB <ohms>`` for every mesh branch,
+    * ``C<i> n<k> 0 <farads>`` for every node decap,
+    * ``RP<i>/LP<i>`` series pad branches from ``vdd_ideal`` to the pad
+      node (through internal nets ``padm<i>``),
+    * one ideal ``VVDD vdd_ideal 0 DC <vdd>`` source.
+
+    Parameters
+    ----------
+    grid:
+        The grid to export.
+    target:
+        Output file path or an open text file object.
+    """
+    own = isinstance(target, str)
+    fh: TextIO = open(target, "w", encoding="utf-8") if own else target
+    try:
+        fh.write(f"* power grid export: {grid.summary()}\n")
+        fh.write(f"VVDD {_VDD_NET} 0 DC {grid.vdd}\n")
+        for i in range(grid.n_edges):
+            a, b = grid.edge_nodes[i]
+            resistance = 1.0 / grid.edge_conductance[i]
+            fh.write(
+                f"R{i} {_node_name(int(a))} {_node_name(int(b))} {resistance:.9g}\n"
+            )
+        for i, cap in enumerate(grid.node_cap):
+            if cap > 0:
+                fh.write(f"C{i} {_node_name(i)} 0 {cap:.9g}\n")
+        for i, pad in enumerate(grid.pads):
+            mid = f"padm{i}"
+            fh.write(f"RP{i} {_VDD_NET} {mid} {pad.resistance:.9g}\n")
+            fh.write(f"LP{i} {mid} {_node_name(pad.node)} {pad.inductance:.9g}\n")
+        fh.write(".end\n")
+    finally:
+        if own:
+            fh.close()
+
+
+def _parse_value(token: str) -> float:
+    return float(token)
+
+
+def parse_spice(source: Union[str, TextIO]) -> PowerGrid:
+    """Parse a deck written by :func:`export_spice` back into a grid.
+
+    Only the exact dialect produced by :func:`export_spice` is
+    supported (mesh resistors between ``n<i>`` nodes, grounded caps, and
+    RP/LP pad pairs); it exists for round-trip validation, not as a
+    general SPICE reader.
+
+    Parameters
+    ----------
+    source:
+        Path to the deck or an open text file object.
+
+    Returns
+    -------
+    PowerGrid
+        A grid with the same electrical content.  Node coordinates are
+        lost in the SPICE format, so nodes are laid out on a line; the
+        electrical matrices are nonetheless identical.
+    """
+    own = isinstance(source, str)
+    fh: TextIO = open(source, "r", encoding="utf-8") if own else source
+    try:
+        text = fh.read()
+    finally:
+        if own:
+            fh.close()
+
+    node_re = re.compile(r"^n(\d+)$")
+    vdd = 1.0
+    edges: List[Tuple[int, int]] = []
+    conductances: List[float] = []
+    caps: Dict[int, float] = {}
+    pad_resistance: Dict[int, float] = {}
+    pad_inductance: Dict[int, float] = {}
+    pad_node: Dict[int, int] = {}
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("*") or line.startswith("."):
+            continue
+        tokens = line.split()
+        name = tokens[0]
+        if name == "VVDD":
+            vdd = _parse_value(tokens[4] if tokens[3].upper() == "DC" else tokens[3])
+        elif name.startswith("RP"):
+            idx = int(name[2:])
+            pad_resistance[idx] = _parse_value(tokens[3])
+        elif name.startswith("LP"):
+            idx = int(name[2:])
+            pad_inductance[idx] = _parse_value(tokens[3])
+            m = node_re.match(tokens[2])
+            if not m:
+                raise ValueError(f"unexpected pad net in line: {line}")
+            pad_node[idx] = int(m.group(1))
+        elif name.startswith("R"):
+            ma, mb = node_re.match(tokens[1]), node_re.match(tokens[2])
+            if not (ma and mb):
+                raise ValueError(f"unexpected resistor nets in line: {line}")
+            edges.append((int(ma.group(1)), int(mb.group(1))))
+            conductances.append(1.0 / _parse_value(tokens[3]))
+        elif name.startswith("C"):
+            m = node_re.match(tokens[1])
+            if not m:
+                raise ValueError(f"unexpected capacitor net in line: {line}")
+            caps[int(m.group(1))] = _parse_value(tokens[3])
+
+    if not edges:
+        raise ValueError("netlist contains no mesh resistors")
+    n_nodes = max(max(a, b) for a, b in edges) + 1
+    n_nodes = max(n_nodes, max(caps, default=-1) + 1, max(pad_node.values(), default=-1) + 1)
+    node_cap = np.zeros(n_nodes)
+    for idx, cap in caps.items():
+        node_cap[idx] = cap
+
+    pads = [
+        Pad(
+            node=pad_node[i],
+            resistance=pad_resistance[i],
+            inductance=pad_inductance[i],
+        )
+        for i in sorted(pad_node)
+    ]
+    coords = np.column_stack([np.arange(n_nodes, dtype=float), np.zeros(n_nodes)])
+    return PowerGrid(
+        coords=coords,
+        edge_nodes=np.asarray(edges, dtype=np.int64),
+        edge_conductance=np.asarray(conductances),
+        node_cap=node_cap,
+        pads=pads,
+        vdd=vdd,
+    )

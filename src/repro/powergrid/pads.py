@@ -1,0 +1,132 @@
+"""Power-delivery pads (C4 bumps) and their package parasitics.
+
+Each pad ties a grid node to the ideal VDD supply through a series
+R-L package path.  The inductance is what turns fast load-current swings
+(di/dt events from power gating) into the first-droop voltage
+emergencies the paper's sensors must detect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.powergrid.grid import PowerGrid
+
+__all__ = ["Pad", "uniform_pad_array", "peripheral_pads"]
+
+
+@dataclass(frozen=True)
+class Pad:
+    """A supply pad: grid node + package resistance and inductance.
+
+    Parameters
+    ----------
+    node:
+        Index of the grid node the pad connects to.
+    resistance:
+        Series package resistance in ohms (per pad).
+    inductance:
+        Series package inductance in henries (per pad).
+    """
+
+    node: int
+    resistance: float
+    inductance: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"pad node index must be >= 0, got {self.node}")
+        check_positive(self.resistance, "pad resistance")
+        check_non_negative(self.inductance, "pad inductance")
+
+
+def uniform_pad_array(
+    grid: "PowerGrid",
+    pitch: float,
+    resistance: float = 0.02,
+    inductance: float = 50e-12,
+) -> List[Pad]:
+    """Place pads on a regular array across the die (flip-chip style).
+
+    Parameters
+    ----------
+    grid:
+        The power grid to attach pads to.
+    pitch:
+        Pad array pitch in mm; a pad is attached to the grid node nearest
+        to each array point.
+    resistance, inductance:
+        Per-pad package parasitics.
+
+    Returns
+    -------
+    list of Pad
+        Pads with unique node indices (duplicate nearest-node hits are
+        merged).
+    """
+    check_positive(pitch, "pad pitch")
+    xs = np.arange(pitch / 2.0, grid.width, pitch)
+    ys = np.arange(pitch / 2.0, grid.height, pitch)
+    seen = set()
+    pads: List[Pad] = []
+    for y in ys:
+        for x in xs:
+            node = grid.nearest_node(float(x), float(y))
+            if node in seen:
+                continue
+            seen.add(node)
+            pads.append(Pad(node=node, resistance=resistance, inductance=inductance))
+    if not pads:
+        raise ValueError(
+            f"pad pitch {pitch} mm produced no pads on a "
+            f"{grid.width}x{grid.height} mm grid"
+        )
+    return pads
+
+
+def peripheral_pads(
+    grid: "PowerGrid",
+    spacing: float,
+    resistance: float = 0.02,
+    inductance: float = 100e-12,
+) -> List[Pad]:
+    """Place pads along the die periphery (wire-bond style).
+
+    Provided as an alternative power-delivery topology for sensitivity
+    studies; peripheral delivery increases IR gradients toward the die
+    center.
+
+    Parameters
+    ----------
+    grid:
+        The power grid to attach pads to.
+    spacing:
+        Distance between consecutive pads along the periphery (mm).
+    resistance, inductance:
+        Per-pad package parasitics.
+    """
+    check_positive(spacing, "pad spacing")
+    points = []
+    for x in np.arange(spacing / 2.0, grid.width, spacing):
+        points.append((float(x), 0.0))
+        points.append((float(x), grid.height))
+    for y in np.arange(spacing / 2.0, grid.height, spacing):
+        points.append((0.0, float(y)))
+        points.append((grid.width, float(y)))
+    seen = set()
+    pads: List[Pad] = []
+    for x, y in points:
+        node = grid.nearest_node(x, y)
+        if node in seen:
+            continue
+        seen.add(node)
+        pads.append(Pad(node=node, resistance=resistance, inductance=inductance))
+    if not pads:
+        raise ValueError("peripheral pad spacing produced no pads")
+    return pads

@@ -1,0 +1,122 @@
+"""Manufacturing variation and degradation of the power grid.
+
+Production grids deviate from nominal: metal thickness varies (sheet
+resistance spread), vias fail, and electromigration opens branches over
+lifetime.  These transforms let robustness studies ask whether a
+placement fitted on the *nominal* grid still predicts well on a
+*perturbed* one — the question a real deployment faces after
+fabrication.
+
+All transforms return a new :class:`PowerGrid`; the input is never
+mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.powergrid.grid import PowerGrid
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import check_in_range, check_non_negative
+
+__all__ = ["with_resistance_variation", "with_open_branches", "with_cap_variation"]
+
+
+def _copy_grid(
+    grid: PowerGrid,
+    edge_nodes: Optional[np.ndarray] = None,
+    edge_conductance: Optional[np.ndarray] = None,
+    node_cap: Optional[np.ndarray] = None,
+) -> PowerGrid:
+    return PowerGrid(
+        coords=grid.coords.copy(),
+        edge_nodes=(grid.edge_nodes if edge_nodes is None else edge_nodes).copy(),
+        edge_conductance=(
+            grid.edge_conductance if edge_conductance is None else edge_conductance
+        ).copy(),
+        node_cap=(grid.node_cap if node_cap is None else node_cap).copy(),
+        pads=list(grid.pads),
+        vdd=grid.vdd,
+        nx=grid.nx,
+        ny=grid.ny,
+        pitch=grid.pitch,
+    )
+
+
+def with_resistance_variation(
+    grid: PowerGrid, sigma: float, rng: RngLike = None
+) -> PowerGrid:
+    """Apply lognormal branch-resistance variation.
+
+    Each branch resistance is multiplied by ``exp(N(0, sigma))`` —
+    the standard model for metal thickness/width spread.
+
+    Parameters
+    ----------
+    grid:
+        Nominal grid.
+    sigma:
+        Log-domain standard deviation (0.1 ~ +-10% 1-sigma spread).
+    rng:
+        Seed or generator.
+    """
+    check_non_negative(sigma, "sigma")
+    rng = make_rng(rng)
+    factors = np.exp(rng.normal(0.0, sigma, size=grid.n_edges))
+    # Resistance multiplied by f => conductance divided by f.
+    return _copy_grid(grid, edge_conductance=grid.edge_conductance / factors)
+
+
+def with_open_branches(
+    grid: PowerGrid, fraction: float, rng: RngLike = None
+) -> PowerGrid:
+    """Open (remove) a random fraction of mesh branches.
+
+    Models via failures / electromigration opens.  The grid must stay
+    connected to every pad for the solve to remain well-posed; this is
+    not checked here (a disconnected island shows up as a singular
+    solve), so keep ``fraction`` modest.
+
+    Parameters
+    ----------
+    grid:
+        Nominal grid.
+    fraction:
+        Fraction of branches to open, in [0, 0.5].
+    rng:
+        Seed or generator.
+    """
+    check_in_range(fraction, "fraction", 0.0, 0.5)
+    rng = make_rng(rng)
+    n_open = int(round(fraction * grid.n_edges))
+    if n_open == 0:
+        return _copy_grid(grid)
+    keep = np.ones(grid.n_edges, dtype=bool)
+    keep[rng.choice(grid.n_edges, size=n_open, replace=False)] = False
+    return _copy_grid(
+        grid,
+        edge_nodes=grid.edge_nodes[keep],
+        edge_conductance=grid.edge_conductance[keep],
+    )
+
+
+def with_cap_variation(
+    grid: PowerGrid, sigma: float, rng: RngLike = None
+) -> PowerGrid:
+    """Apply lognormal decap variation per node.
+
+    Parameters
+    ----------
+    grid:
+        Nominal grid.
+    sigma:
+        Log-domain standard deviation of the per-node decap.
+    rng:
+        Seed or generator.
+    """
+    check_non_negative(sigma, "sigma")
+    rng = make_rng(rng)
+    factors = np.exp(rng.normal(0.0, sigma, size=grid.n_nodes))
+    return _copy_grid(grid, node_cap=grid.node_cap * factors)

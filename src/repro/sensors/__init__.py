@@ -1,0 +1,21 @@
+"""Physical sensor front-end models and calibration.
+
+Extends the paper's ideal-reading assumption with quantization, noise
+and per-instance offset, plus the calibration path that trains the OLS
+refit on measured data.
+"""
+
+from repro.sensors.calibration import (
+    SensorImpact,
+    calibrated_predictor,
+    evaluate_sensor_impact,
+)
+from repro.sensors.model import SensorArray, SensorSpec
+
+__all__ = [
+    "SensorImpact",
+    "calibrated_predictor",
+    "evaluate_sensor_impact",
+    "SensorArray",
+    "SensorSpec",
+]

@@ -1,0 +1,128 @@
+"""Physical sensor models: quantization, noise, offset, saturation.
+
+The paper treats sensor readings as ideal node voltages.  Real on-chip
+voltage sensors (e.g. VCO- or TDC-based monitors) quantize to a few
+bits over a limited range and add thermal noise and per-instance offset.
+This module models that front end so the prediction pipeline can be
+evaluated under realistic measurement quality — and so the λ sweep can
+answer "how many *real* sensors do I need".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import check_integer, check_non_negative
+
+__all__ = ["SensorSpec", "SensorArray"]
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """Electrical specification of one sensor design.
+
+    Parameters
+    ----------
+    resolution_bits:
+        ADC resolution; readings are quantized to ``2**bits`` levels
+        over ``[v_min, v_max]``.  ``0`` disables quantization (ideal
+        amplitude resolution).
+    v_min, v_max:
+        Input range in volts; readings clip outside it.
+    noise_sigma:
+        Std-dev of additive white measurement noise (V).
+    offset_sigma:
+        Std-dev of the static per-instance offset (V), drawn once per
+        sensor at fabrication (mismatch).
+    """
+
+    resolution_bits: int = 8
+    v_min: float = 0.7
+    v_max: float = 1.1
+    noise_sigma: float = 0.001
+    offset_sigma: float = 0.002
+
+    def __post_init__(self) -> None:
+        check_integer(self.resolution_bits, "resolution_bits", minimum=0)
+        if self.resolution_bits > 24:
+            raise ValueError("resolution_bits > 24 is not meaningful")
+        if not self.v_min < self.v_max:
+            raise ValueError("v_min must be < v_max")
+        check_non_negative(self.noise_sigma, "noise_sigma")
+        check_non_negative(self.offset_sigma, "offset_sigma")
+
+    @property
+    def lsb(self) -> float:
+        """Quantization step in volts (0 for ideal resolution)."""
+        if self.resolution_bits == 0:
+            return 0.0
+        return (self.v_max - self.v_min) / (2**self.resolution_bits - 1)
+
+
+class SensorArray:
+    """A set of physical sensors applying one :class:`SensorSpec`.
+
+    Parameters
+    ----------
+    n_sensors:
+        Number of sensor instances.
+    spec:
+        Shared electrical specification.
+    rng:
+        Seed or generator used to draw the static per-instance offsets
+        (and, per call, the measurement noise).
+    """
+
+    def __init__(
+        self, n_sensors: int, spec: SensorSpec = SensorSpec(), rng: RngLike = None
+    ) -> None:
+        check_integer(n_sensors, "n_sensors", minimum=1)
+        self.spec = spec
+        self._rng = make_rng(rng)
+        self.offsets = (
+            self._rng.normal(0.0, spec.offset_sigma, size=n_sensors)
+            if spec.offset_sigma > 0
+            else np.zeros(n_sensors)
+        )
+
+    @property
+    def n_sensors(self) -> int:
+        """Number of sensor instances."""
+        return self.offsets.shape[0]
+
+    def measure(self, true_voltages: np.ndarray) -> np.ndarray:
+        """Convert true node voltages into sensor readings.
+
+        Applies, in order: static offset, additive noise, range
+        clipping, quantization.
+
+        Parameters
+        ----------
+        true_voltages:
+            ``(n_sensors,)`` or ``(n_samples, n_sensors)`` true
+            voltages (V).
+
+        Returns
+        -------
+        np.ndarray
+            Readings with the same shape.
+        """
+        v = np.asarray(true_voltages, dtype=float)
+        single = v.ndim == 1
+        if single:
+            v = v[np.newaxis, :]
+        if v.shape[1] != self.n_sensors:
+            raise ValueError(
+                f"expected {self.n_sensors} sensor channels, got {v.shape[1]}"
+            )
+        out = v + self.offsets[np.newaxis, :]
+        if self.spec.noise_sigma > 0:
+            out = out + self._rng.normal(0.0, self.spec.noise_sigma, size=out.shape)
+        out = np.clip(out, self.spec.v_min, self.spec.v_max)
+        lsb = self.spec.lsb
+        if lsb > 0:
+            out = self.spec.v_min + np.round((out - self.spec.v_min) / lsb) * lsb
+        return out[0] if single else out

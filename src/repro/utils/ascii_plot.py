@@ -1,0 +1,183 @@
+"""Terminal plotting helpers used by the figure-reproduction scripts.
+
+The paper's figures (voltage traces, coefficient stem plots, placement
+maps, error-rate curves) are regenerated as ASCII renderings so that the
+benchmark harness can run headless and still show the *shape* of each
+figure.  Numerical series are also returned by the experiment modules, so
+downstream users can feed them into matplotlib if available.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["line_plot", "stem_plot_log", "scatter_grid", "multi_line_plot"]
+
+
+def _scale(values: np.ndarray, lo: float, hi: float, size: int) -> np.ndarray:
+    """Map ``values`` in [lo, hi] to integer rows/cols in [0, size-1]."""
+    if hi <= lo:
+        return np.zeros(len(values), dtype=int)
+    frac = (np.asarray(values, dtype=float) - lo) / (hi - lo)
+    return np.clip((frac * (size - 1)).round().astype(int), 0, size - 1)
+
+
+def line_plot(
+    y: Sequence[float],
+    x: Optional[Sequence[float]] = None,
+    width: int = 72,
+    height: int = 16,
+    title: Optional[str] = None,
+    y_label: str = "",
+) -> str:
+    """Render a single series as an ASCII line plot."""
+    return multi_line_plot(
+        [np.asarray(y, dtype=float)],
+        x=x,
+        markers="*",
+        width=width,
+        height=height,
+        title=title,
+        y_label=y_label,
+    )
+
+
+def multi_line_plot(
+    series: Sequence[Sequence[float]],
+    x: Optional[Sequence[float]] = None,
+    markers: str = "*o+x#@",
+    width: int = 72,
+    height: int = 16,
+    title: Optional[str] = None,
+    y_label: str = "",
+    labels: Optional[Sequence[str]] = None,
+) -> str:
+    """Render several series on one ASCII canvas.
+
+    Parameters
+    ----------
+    series:
+        List of equal-length (or varying-length) y-series.
+    x:
+        Optional shared x values; defaults to sample index.
+    markers:
+        One marker character per series (cycled if fewer).
+    width, height:
+        Canvas dimensions in characters.
+    title:
+        Optional title line.
+    y_label:
+        Label shown on the y-axis header line.
+    labels:
+        Optional legend entries, one per series.
+    """
+    arrays = [np.asarray(s, dtype=float) for s in series if len(s) > 0]
+    if not arrays:
+        return "(empty plot)"
+    y_lo = min(float(np.min(a)) for a in arrays)
+    y_hi = max(float(np.max(a)) for a in arrays)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, arr in enumerate(arrays):
+        marker = markers[idx % len(markers)]
+        if x is not None and len(x) == len(arr):
+            xs = np.asarray(x, dtype=float)
+        else:
+            xs = np.arange(len(arr), dtype=float)
+        x_lo, x_hi = float(np.min(xs)), float(np.max(xs))
+        cols = _scale(xs, x_lo, x_hi if x_hi > x_lo else x_lo + 1, width)
+        rows = _scale(arr, y_lo, y_hi, height)
+        for c, r in zip(cols, rows):
+            canvas[height - 1 - r][c] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{y_hi:.4g} {y_label}".rstrip()
+    lines.append(header)
+    lines.extend("|" + "".join(row) for row in canvas)
+    lines.append(f"{y_lo:.4g}" + " " * max(0, width - 10))
+    if labels:
+        legend = "  ".join(
+            f"{markers[i % len(markers)]}={lab}" for i, lab in enumerate(labels)
+        )
+        lines.append(legend)
+    return "\n".join(lines)
+
+
+def stem_plot_log(
+    values: Sequence[float],
+    width: int = 72,
+    height: int = 16,
+    floor: float = 1e-12,
+    title: Optional[str] = None,
+) -> str:
+    """Render non-negative values as log-scale vertical stems.
+
+    Used for the Fig. 1 reproduction (``‖β_m‖₂`` per sensor candidate),
+    where values span many orders of magnitude.
+
+    Parameters
+    ----------
+    values:
+        Non-negative magnitudes (zeros clamped to ``floor``).
+    floor:
+        Smallest representable magnitude.
+    """
+    vals = np.maximum(np.asarray(values, dtype=float), floor)
+    logs = np.log10(vals)
+    lo, hi = float(np.min(logs)), float(np.max(logs))
+    if hi == lo:
+        hi = lo + 1.0
+
+    n = len(vals)
+    cols = _scale(np.arange(n), 0, max(n - 1, 1), width)
+    heights = _scale(logs, lo, hi, height)
+
+    canvas = [[" "] * width for _ in range(height)]
+    for c, h in zip(cols, heights):
+        for r in range(h + 1):
+            row = height - 1 - r
+            if canvas[row][c] == " ":
+                canvas[row][c] = "|"
+        canvas[height - 1 - h][c] = "*"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"log10 max = {hi:.2f}")
+    lines.extend("|" + "".join(row) for row in canvas)
+    lines.append(f"log10 min = {lo:.2f}  ({n} candidates)")
+    return "\n".join(lines)
+
+
+def scatter_grid(
+    width_units: float,
+    height_units: float,
+    points: Sequence[Tuple[float, float, str]],
+    width: int = 64,
+    height: int = 24,
+    title: Optional[str] = None,
+) -> str:
+    """Render labelled points on a fixed-extent 2-D canvas.
+
+    Used for the Fig. 3 reproduction (sensor placement maps).  Each point
+    is ``(x, y, char)`` in chip coordinates; later points overwrite
+    earlier ones.
+    """
+    if width_units <= 0 or height_units <= 0:
+        raise ValueError("grid extents must be positive")
+    canvas = [["."] * width for _ in range(height)]
+    for px, py, ch in points:
+        c = int(np.clip(px / width_units * (width - 1), 0, width - 1))
+        r = int(np.clip(py / height_units * (height - 1), 0, height - 1))
+        canvas[height - 1 - r][c] = ch[0] if ch else "?"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.extend("".join(row) for row in canvas)
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""ASCII heatmaps of full-chip voltage maps.
+
+Renders a voltage map (one value per grid node) as a character-density
+heatmap over the die extent — the closest headless analog of the
+paper's "full-chip voltage map" visualizations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_matrix, check_vector
+
+__all__ = ["voltage_heatmap"]
+
+#: Darkness ramp: low voltage (deep droop) renders dark/dense.
+_RAMP = "@%#*+=-:. "
+
+
+def voltage_heatmap(
+    coords: np.ndarray,
+    voltages: np.ndarray,
+    width: int = 72,
+    height: int = 24,
+    v_min: Optional[float] = None,
+    v_max: Optional[float] = None,
+    title: Optional[str] = None,
+    marks: Optional[Sequence[Tuple[float, float, str]]] = None,
+) -> str:
+    """Render node voltages as an ASCII heatmap.
+
+    Each character cell shows the *minimum* voltage of the nodes that
+    fall into it (droops must not be averaged away), on a darkness ramp
+    where ``@`` is the deepest droop and blank is at/above ``v_max``.
+
+    Parameters
+    ----------
+    coords:
+        ``(n_nodes, 2)`` node positions (mm).
+    voltages:
+        ``(n_nodes,)`` voltages (V).
+    width, height:
+        Canvas size in characters.
+    v_min, v_max:
+        Color-scale limits; default to the data range.
+    title:
+        Optional title line.
+    marks:
+        Optional ``(x, y, char)`` overlays (e.g. sensor positions),
+        drawn after the heatmap.
+    """
+    coords = check_matrix(coords, "coords", n_cols=2)
+    voltages = check_vector(voltages, "voltages", length=coords.shape[0])
+    if v_min is None:
+        v_min = float(voltages.min())
+    if v_max is None:
+        v_max = float(voltages.max())
+    if v_max <= v_min:
+        # Degenerate range (uniform map): render everything at the top
+        # of the ramp (blank) rather than as a false deep droop.
+        v_min = v_max - 1e-9
+
+    x_lo, x_hi = float(coords[:, 0].min()), float(coords[:, 0].max())
+    y_lo, y_hi = float(coords[:, 1].min()), float(coords[:, 1].max())
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_hi - y_lo, 1e-12)
+
+    cell_min = np.full((height, width), np.inf)
+    cols = np.clip(
+        ((coords[:, 0] - x_lo) / x_span * (width - 1)).round().astype(int),
+        0,
+        width - 1,
+    )
+    rows = np.clip(
+        ((coords[:, 1] - y_lo) / y_span * (height - 1)).round().astype(int),
+        0,
+        height - 1,
+    )
+    np.minimum.at(cell_min, (rows, cols), voltages)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{_RAMP[0]} = {v_min:.3f} V ... blank = {v_max:.3f} V"
+    )
+    canvas = []
+    for r in range(height - 1, -1, -1):
+        row_chars = []
+        for c in range(width):
+            v = cell_min[r, c]
+            if not np.isfinite(v):
+                row_chars.append(" ")
+                continue
+            frac = (v - v_min) / (v_max - v_min)
+            idx = int(np.clip(frac * (len(_RAMP) - 1), 0, len(_RAMP) - 1))
+            row_chars.append(_RAMP[idx])
+        canvas.append(row_chars)
+    if marks:
+        for x, y, ch in marks:
+            c = int(np.clip((x - x_lo) / x_span * (width - 1), 0, width - 1))
+            r = int(np.clip((y - y_lo) / y_span * (height - 1), 0, height - 1))
+            canvas[height - 1 - r][c] = ch[0] if ch else "?"
+    lines.extend("|" + "".join(row) for row in canvas)
+    return "\n".join(lines)

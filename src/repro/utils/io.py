@@ -1,0 +1,77 @@
+"""Saving and loading of experiment artifacts.
+
+Experiment results are persisted as JSON (scalars, tables, metadata) plus
+optional ``.npz`` sidecars for bulk arrays, so that a completed run can
+be re-rendered or diffed without recomputation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, is_dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+__all__ = ["save_results", "load_results", "to_jsonable", "ensure_dir"]
+
+
+def ensure_dir(path: str) -> str:
+    """Create ``path`` (and parents) if missing; return it."""
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Convert ``obj`` recursively into JSON-serializable values.
+
+    Handles numpy scalars/arrays, dataclasses, dicts, lists and tuples.
+    Arrays become nested lists, so keep bulk data out of the JSON path and
+    in the ``arrays`` argument of :func:`save_results` instead.
+    """
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return to_jsonable(asdict(obj))
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    return obj
+
+
+def save_results(
+    path: str,
+    payload: Dict[str, Any],
+    arrays: Optional[Dict[str, np.ndarray]] = None,
+) -> None:
+    """Persist ``payload`` as JSON at ``path`` plus optional array sidecar.
+
+    Parameters
+    ----------
+    path:
+        Target ``.json`` file path; parent directories are created.
+    payload:
+        JSON-serializable (after :func:`to_jsonable`) result dictionary.
+    arrays:
+        Optional named arrays saved next to the JSON as ``<path>.npz``.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    ensure_dir(directory)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_jsonable(payload), fh, indent=2, sort_keys=True)
+    if arrays:
+        np.savez_compressed(path + ".npz", **arrays)
+
+
+def load_results(path: str) -> Dict[str, Any]:
+    """Load a JSON result file saved by :func:`save_results`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

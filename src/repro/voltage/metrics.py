@@ -1,0 +1,151 @@
+"""Prediction-accuracy and emergency-detection metrics.
+
+Implements the paper's evaluation quantities:
+
+* the *aggregated relative prediction error* of Table 1,
+* the *miss error* (ME), *wrong alarm error* (WAE) and *total error*
+  (TE) rates of Section 3.2 / Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "mean_relative_error",
+    "rms_relative_error",
+    "max_absolute_error",
+    "ErrorRates",
+    "detection_error_rates",
+    "blockwise_error_rates",
+]
+
+
+def _check_pair(pred: np.ndarray, truth: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    pred = np.asarray(pred, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    if pred.shape != truth.shape:
+        raise ValueError(f"shape mismatch: pred {pred.shape} vs truth {truth.shape}")
+    if pred.size == 0:
+        raise ValueError("empty arrays")
+    return pred, truth
+
+
+def mean_relative_error(pred: np.ndarray, truth: np.ndarray) -> float:
+    """Mean of ``|pred - truth| / |truth|`` over all entries.
+
+    This is the "aggregated relative prediction error (for all function
+    blocks and all benchmarks)" reported in the paper's Table 1.
+    ``truth`` entries must be bounded away from zero (supply voltages
+    are ~1 V, so this always holds in practice).
+    """
+    pred, truth = _check_pair(pred, truth)
+    denom = np.abs(truth)
+    if np.any(denom < 1e-12):
+        raise ValueError("truth contains (near-)zero entries; relative error undefined")
+    return float(np.mean(np.abs(pred - truth) / denom))
+
+
+def rms_relative_error(pred: np.ndarray, truth: np.ndarray) -> float:
+    """Frobenius-norm relative error ``||pred - truth||_F / ||truth||_F``."""
+    pred, truth = _check_pair(pred, truth)
+    denom = float(np.linalg.norm(truth))
+    if denom < 1e-12:
+        raise ValueError("truth has (near-)zero norm; relative error undefined")
+    return float(np.linalg.norm(pred - truth) / denom)
+
+
+def max_absolute_error(pred: np.ndarray, truth: np.ndarray) -> float:
+    """Worst-case absolute prediction error (V)."""
+    pred, truth = _check_pair(pred, truth)
+    return float(np.max(np.abs(pred - truth)))
+
+
+@dataclass(frozen=True)
+class ErrorRates:
+    """Emergency-detection error rates (paper Section 3.2).
+
+    Attributes
+    ----------
+    miss:
+        ME rate — P(no alarm | a true FA emergency exists).  ``nan``
+        when the evaluation set contains no true emergencies.
+    wrong_alarm:
+        WAE rate — P(alarm | no true FA emergency).  ``nan`` when every
+        sample has a true emergency.
+    total:
+        TE rate — fraction of samples whose reported state is wrong.
+    n_samples:
+        Number of evaluated samples.
+    n_emergencies:
+        Number of samples with a true emergency.
+    """
+
+    miss: float
+    wrong_alarm: float
+    total: float
+    n_samples: int
+    n_emergencies: int
+
+
+def detection_error_rates(
+    true_emergency: np.ndarray, alarm: np.ndarray
+) -> ErrorRates:
+    """Compute ME / WAE / TE for per-sample states.
+
+    Parameters
+    ----------
+    true_emergency:
+        ``(n_samples,)`` booleans — ground-truth "emergency exists in
+        the FA" state from full-chip simulation.
+    alarm:
+        ``(n_samples,)`` booleans — the monitoring scheme's reported
+        state (sensor alarms for Eagle-Eye, predicted-voltage threshold
+        crossings for the proposed model).
+    """
+    true_emergency = np.asarray(true_emergency, dtype=bool)
+    alarm = np.asarray(alarm, dtype=bool)
+    if true_emergency.shape != alarm.shape or true_emergency.ndim != 1:
+        raise ValueError("true_emergency and alarm must be equal-length 1-D arrays")
+    n = true_emergency.shape[0]
+    if n == 0:
+        raise ValueError("no samples to evaluate")
+
+    n_emerg = int(true_emergency.sum())
+    n_quiet = n - n_emerg
+    missed = int(np.sum(true_emergency & ~alarm))
+    false_alarms = int(np.sum(~true_emergency & alarm))
+
+    miss = missed / n_emerg if n_emerg else float("nan")
+    wrong = false_alarms / n_quiet if n_quiet else float("nan")
+    total = (missed + false_alarms) / n
+    return ErrorRates(
+        miss=miss,
+        wrong_alarm=wrong,
+        total=total,
+        n_samples=n,
+        n_emergencies=n_emerg,
+    )
+
+
+def blockwise_error_rates(
+    true_states: np.ndarray, predicted_states: np.ndarray
+) -> ErrorRates:
+    """ME / WAE / TE at (sample, block) granularity.
+
+    Evaluates every (sample, block) pair as an independent state report:
+    a finer-grained diagnostic available for the proposed approach,
+    which predicts each block's voltage individually.
+
+    Parameters
+    ----------
+    true_states, predicted_states:
+        ``(n_samples, n_blocks)`` boolean emergency states.
+    """
+    true_states = np.asarray(true_states, dtype=bool)
+    predicted_states = np.asarray(predicted_states, dtype=bool)
+    if true_states.shape != predicted_states.shape or true_states.ndim != 2:
+        raise ValueError("states must be equal-shape 2-D boolean arrays")
+    return detection_error_rates(true_states.ravel(), predicted_states.ravel())

@@ -1,0 +1,80 @@
+"""Saving and loading of voltage datasets.
+
+Generating the paper-scale dataset takes minutes of transient
+simulation; persisting it lets experiment sessions, notebooks, and CI
+reuse one generation.  The format is a single compressed ``.npz`` with
+the arrays plus a JSON-encoded metadata blob.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.voltage.dataset import VoltageDataset
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(path: str, dataset: VoltageDataset) -> None:
+    """Persist ``dataset`` as a compressed ``.npz`` at ``path``.
+
+    Parameters
+    ----------
+    path:
+        Target file path (conventionally ``*.npz``); parent directories
+        are created.
+    dataset:
+        The dataset to save.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    meta = {
+        "version": _FORMAT_VERSION,
+        "block_names": dataset.block_names,
+        "benchmark_names": dataset.benchmark_names,
+        "vdd": dataset.vdd,
+    }
+    np.savez_compressed(
+        path,
+        X=np.asarray(dataset.X, dtype=np.float32),
+        F=np.asarray(dataset.F, dtype=np.float32),
+        candidate_nodes=dataset.candidate_nodes,
+        candidate_cores=dataset.candidate_cores,
+        critical_nodes=dataset.critical_nodes,
+        block_cores=dataset.block_cores,
+        benchmark_of_sample=dataset.benchmark_of_sample,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def load_dataset(path: str) -> VoltageDataset:
+    """Load a dataset saved by :func:`save_dataset`.
+
+    Raises
+    ------
+    ValueError
+        If the file was written by an incompatible format version.
+    """
+    with np.load(path) as npz:
+        meta = json.loads(bytes(npz["meta"].tobytes()).decode("utf-8"))
+        if meta.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset format version {meta.get('version')!r}"
+            )
+        return VoltageDataset(
+            X=np.asarray(npz["X"], dtype=float),
+            F=np.asarray(npz["F"], dtype=float),
+            candidate_nodes=npz["candidate_nodes"],
+            candidate_cores=npz["candidate_cores"],
+            critical_nodes=npz["critical_nodes"],
+            block_names=list(meta["block_names"]),
+            block_cores=npz["block_cores"],
+            benchmark_of_sample=npz["benchmark_of_sample"],
+            benchmark_names=list(meta["benchmark_names"]),
+            vdd=float(meta["vdd"]),
+        )

@@ -1,0 +1,86 @@
+"""Random sampling of voltage maps for training.
+
+Implements the paper's data-selection step: "we randomly select 10,000
+voltage maps out of 19 benchmarks as our training samples".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.voltage.maps import VoltageMapSet
+from repro.utils.rng import RngLike, make_rng
+
+__all__ = ["sample_maps", "stratified_sample_rows"]
+
+
+def stratified_sample_rows(
+    labels: np.ndarray,
+    n_total: int,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Sample ``n_total`` rows roughly evenly across label groups.
+
+    Parameters
+    ----------
+    labels:
+        ``(n,)`` integer group label per row (benchmark index).
+    n_total:
+        Rows to draw without replacement; must not exceed ``len(labels)``.
+    rng:
+        Seed or generator.
+
+    Returns
+    -------
+    np.ndarray
+        Sorted selected row indices.  Each group contributes
+        ``floor(n_total / n_groups)`` rows (or all it has, if fewer) and
+        the remainder is drawn uniformly from the leftovers, so the
+        benchmark mix stays balanced like the paper's training set.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    n = labels.shape[0]
+    if not 0 < n_total <= n:
+        raise ValueError(f"n_total must be in [1, {n}], got {n_total}")
+    rng = make_rng(rng)
+
+    groups = np.unique(labels)
+    per_group = n_total // groups.shape[0]
+    chosen: List[np.ndarray] = []
+    for g in groups:
+        rows = np.nonzero(labels == g)[0]
+        take = min(per_group, rows.shape[0])
+        if take:
+            chosen.append(rng.choice(rows, size=take, replace=False))
+    selected = np.concatenate(chosen) if chosen else np.empty(0, dtype=np.int64)
+    remaining = n_total - selected.shape[0]
+    if remaining > 0:
+        mask = np.ones(n, dtype=bool)
+        mask[selected] = False
+        pool = np.nonzero(mask)[0]
+        selected = np.concatenate(
+            [selected, rng.choice(pool, size=remaining, replace=False)]
+        )
+    return np.sort(selected)
+
+
+def sample_maps(
+    maps: VoltageMapSet,
+    n_total: int,
+    rng: RngLike = None,
+) -> VoltageMapSet:
+    """Randomly select ``n_total`` maps, stratified by benchmark.
+
+    Parameters
+    ----------
+    maps:
+        The full pool of simulated voltage maps.
+    n_total:
+        Number of training maps to keep (the paper uses 10,000).
+    rng:
+        Seed or generator.
+    """
+    rows = stratified_sample_rows(maps.benchmark_of_sample, n_total, rng)
+    return maps.subset(rows)

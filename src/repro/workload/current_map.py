@@ -1,0 +1,132 @@
+"""Mapping block power onto grid-node load currents.
+
+Builds the sparse *distribution matrix* D so that a block-power vector
+``p`` (W) becomes a node-current vector ``i = D @ p / VDD`` (A), with
+each block's power spread uniformly over the grid nodes inside its
+outline — the standard region-based load model for chip-level
+power-grid analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.floorplan.candidates import NodeClassification
+from repro.floorplan.floorplan import Floorplan
+from repro.workload.power_model import BlockPowerTraces
+from repro.utils.validation import check_positive
+
+__all__ = ["build_distribution_matrix", "CurrentMapper"]
+
+
+def build_distribution_matrix(
+    floorplan: Floorplan,
+    classification: NodeClassification,
+    n_nodes: int,
+) -> sp.csr_matrix:
+    """Build the ``(n_nodes, n_blocks)`` power-distribution matrix.
+
+    Entry ``(i, j)`` is ``1 / |nodes(block_j)|`` when node ``i`` lies in
+    block ``j`` and 0 otherwise, so column sums are exactly 1 and total
+    chip current is conserved.
+
+    Parameters
+    ----------
+    floorplan:
+        The floorplan (defines block column order).
+    classification:
+        Node classification of the grid against this floorplan.
+    n_nodes:
+        Number of grid nodes (rows).
+
+    Raises
+    ------
+    ValueError
+        If any block contains no grid node — then its power would be
+        silently dropped; use a finer grid pitch instead.
+    """
+    empty = classification.empty_blocks()
+    if empty:
+        raise ValueError(
+            f"{len(empty)} block(s) contain no grid node (grid too coarse): "
+            f"{', '.join(empty[:5])}..."
+            if len(empty) > 5
+            else f"blocks without grid nodes: {', '.join(empty)}"
+        )
+    rows = []
+    cols = []
+    vals = []
+    for j, block in enumerate(floorplan.blocks):
+        nodes = classification.block_nodes[block.name]
+        share = 1.0 / len(nodes)
+        for node in nodes:
+            rows.append(node)
+            cols.append(j)
+            vals.append(share)
+    return sp.csr_matrix(
+        (vals, (rows, cols)), shape=(n_nodes, len(floorplan.blocks))
+    )
+
+
+class CurrentMapper:
+    """Converts block-power traces into per-step node current vectors.
+
+    Designed to be handed directly to
+    :meth:`repro.powergrid.transient.TransientSolver.simulate` as the
+    ``load`` callable, avoiding the memory cost of materializing the
+    full ``(n_steps, n_nodes)`` current array.
+
+    Parameters
+    ----------
+    floorplan, classification, n_nodes:
+        See :func:`build_distribution_matrix`.
+    vdd:
+        Supply voltage used for the P = V*I conversion.  Using nominal
+        VDD (rather than instantaneous node voltage) linearizes the load
+        — the standard constant-current load model.
+    """
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        classification: NodeClassification,
+        n_nodes: int,
+        vdd: float = 1.0,
+    ) -> None:
+        check_positive(vdd, "vdd")
+        self.vdd = vdd
+        self.distribution = build_distribution_matrix(
+            floorplan, classification, n_nodes
+        )
+        self._power: Optional[np.ndarray] = None
+
+    def bind(self, traces: BlockPowerTraces) -> "CurrentMapper":
+        """Attach power traces; returns self for chaining."""
+        if traces.power.shape[1] != self.distribution.shape[1]:
+            raise ValueError(
+                f"power has {traces.power.shape[1]} blocks, "
+                f"mapper expects {self.distribution.shape[1]}"
+            )
+        self._power = traces.power
+        return self
+
+    @property
+    def n_steps(self) -> int:
+        """Steps available in the bound power traces."""
+        if self._power is None:
+            raise RuntimeError("no power traces bound; call bind() first")
+        return self._power.shape[0]
+
+    def currents_at(self, step: int) -> np.ndarray:
+        """Node sink currents (A) for ``step`` of the bound traces."""
+        if self._power is None:
+            raise RuntimeError("no power traces bound; call bind() first")
+        p = self._power[min(step, self._power.shape[0] - 1)]
+        return self.distribution @ (p / self.vdd)
+
+    def __call__(self, step: int) -> np.ndarray:
+        """Alias for :meth:`currents_at` (TransientSolver load API)."""
+        return self.currents_at(step)

@@ -1,0 +1,150 @@
+"""Power-gating and clock-gating event generation.
+
+Power-management events are the dominant source of voltage emergencies:
+waking a gated unit steps its current draw from (near) zero to full
+scale within a couple of cycles, and the resulting di/dt through the
+package inductance produces the first-droop undershoot the paper's
+sensors must catch.
+
+Gating is modeled per (core, gateable unit) as a two-state Markov chain
+whose transition rates derive from the benchmark's ``gating_rate`` and
+the unit's activity affinity (busy units rarely gate; idle ones often
+do).  Wake-up edges are smoothed over ``ramp_steps`` steps, emulating
+the staged power switches real designs use to limit — but not
+eliminate — inrush.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import check_in_range, check_integer
+
+__all__ = ["GatingEvent", "GatingSchedule", "generate_gating_schedule"]
+
+
+@dataclass(frozen=True)
+class GatingEvent:
+    """One gating transition.
+
+    Attributes
+    ----------
+    step:
+        Simulation step at which the transition starts.
+    channel:
+        Index of the gating channel (one channel per gated unit
+        instance, in the caller's channel order).
+    kind:
+        ``"wake"`` or ``"sleep"``.
+    """
+
+    step: int
+    channel: int
+    kind: str
+
+
+@dataclass
+class GatingSchedule:
+    """Gate-state waveforms for a set of gating channels.
+
+    Attributes
+    ----------
+    gate:
+        ``(n_steps, n_channels)`` array in [0, 1]; 1 = fully powered,
+        0 = power-gated, intermediate values during wake/sleep ramps.
+    events:
+        All transitions, in step order.
+    """
+
+    gate: np.ndarray
+    events: List[GatingEvent]
+
+    @property
+    def n_steps(self) -> int:
+        """Number of simulated steps."""
+        return self.gate.shape[0]
+
+    @property
+    def n_channels(self) -> int:
+        """Number of independent gating channels."""
+        return self.gate.shape[1]
+
+    def wake_count(self) -> int:
+        """Total number of wake events across all channels."""
+        return sum(1 for e in self.events if e.kind == "wake")
+
+
+def generate_gating_schedule(
+    n_steps: int,
+    duty_cycles: "np.ndarray",
+    gating_rate: float,
+    ramp_steps: int = 2,
+    rng: RngLike = None,
+) -> GatingSchedule:
+    """Generate gate-state waveforms for ``len(duty_cycles)`` channels.
+
+    Parameters
+    ----------
+    n_steps:
+        Number of simulation steps.
+    duty_cycles:
+        Per-channel long-run fraction of time spent powered ON, in
+        (0, 1].  Derived from the unit's activity affinity by the
+        caller.
+    gating_rate:
+        Base per-step transition propensity (the benchmark's
+        ``gating_rate``).  The ON->OFF and OFF->ON rates are scaled so
+        the chain's stationary ON probability equals the duty cycle.
+    ramp_steps:
+        Steps over which a wake/sleep edge ramps linearly (>= 1).  Small
+        values mean sharper di/dt and deeper droops.
+    rng:
+        Seed or generator for reproducibility.
+
+    Returns
+    -------
+    GatingSchedule
+    """
+    check_integer(n_steps, "n_steps", minimum=1)
+    check_integer(ramp_steps, "ramp_steps", minimum=1)
+    check_in_range(gating_rate, "gating_rate", 0.0, 1.0)
+    duty_cycles = np.asarray(duty_cycles, dtype=float)
+    if duty_cycles.ndim != 1:
+        raise ValueError("duty_cycles must be 1-D")
+    if np.any(duty_cycles <= 0) or np.any(duty_cycles > 1):
+        raise ValueError("duty cycles must lie in (0, 1]")
+    rng = make_rng(rng)
+
+    n_channels = duty_cycles.shape[0]
+    gate = np.ones((n_steps, n_channels))
+    events: List[GatingEvent] = []
+
+    # Stationary ON probability d satisfies  p_on / (p_on + p_off) = d.
+    # We fix the mean event rate at `gating_rate` and split it:
+    #   p_off (ON->OFF) = gating_rate * (1 - d) * 2
+    #   p_on  (OFF->ON) = gating_rate * d * 2
+    p_off = np.clip(2.0 * gating_rate * (1.0 - duty_cycles), 0.0, 1.0)
+    p_on = np.clip(2.0 * gating_rate * duty_cycles, 0.0, 1.0)
+
+    state = (rng.random(n_channels) < duty_cycles).astype(float)
+    level = state.copy()
+    for step in range(n_steps):
+        draws = rng.random(n_channels)
+        for ch in range(n_channels):
+            if state[ch] == 1.0 and draws[ch] < p_off[ch]:
+                state[ch] = 0.0
+                events.append(GatingEvent(step=step, channel=ch, kind="sleep"))
+            elif state[ch] == 0.0 and draws[ch] < p_on[ch]:
+                state[ch] = 1.0
+                events.append(GatingEvent(step=step, channel=ch, kind="wake"))
+        # The applied level slews toward the target state by at most
+        # 1/ramp_steps per step (linear wake/sleep ramp).
+        step_size = 1.0 / ramp_steps
+        level = np.clip(level + np.clip(state - level, -step_size, step_size), 0.0, 1.0)
+        gate[step] = level
+
+    return GatingSchedule(gate=gate, events=events)

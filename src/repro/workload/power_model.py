@@ -1,0 +1,165 @@
+"""Activity-to-power conversion (the McPAT stand-in).
+
+Maps per-block activity/gate traces to per-block power traces.  The
+model follows McPAT's decomposition at the granularity the methodology
+needs: dynamic power proportional to activity, leakage power that is
+present whenever the block is powered, and both removed when the block
+is power-gated.
+
+Per-block peak power is the core power budget shared according to the
+blocks' floorplan ``power_weight``; the execution unit ends up the
+hottest, which drives the worst-noise behaviour the paper's Fig. 3
+relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.floorplan.floorplan import Floorplan
+from repro.workload.activity import ActivityTraces
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["PowerModelConfig", "McPATLikePowerModel", "BlockPowerTraces"]
+
+
+@dataclass(frozen=True)
+class PowerModelConfig:
+    """Power-model parameters.
+
+    Parameters
+    ----------
+    core_peak_power:
+        Power of one fully-active, ungated core in watts.  The default
+        is sized like a 22nm Xeon-E5 core under turbo load.
+    leakage_fraction:
+        Fraction of a block's peak power that is leakage (burned
+        whenever the block is powered, independent of activity).
+    uncore_peak_power:
+        Peak power of all uncore blocks combined (W); ignored when the
+        floorplan has no uncore blocks.
+    """
+
+    core_peak_power: float = 16.0
+    leakage_fraction: float = 0.25
+    uncore_peak_power: float = 10.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.core_peak_power, "core_peak_power")
+        check_in_range(self.leakage_fraction, "leakage_fraction", 0.0, 1.0)
+        check_positive(self.uncore_peak_power, "uncore_peak_power")
+
+
+@dataclass
+class BlockPowerTraces:
+    """Per-block power over time.
+
+    Attributes
+    ----------
+    power:
+        ``(n_steps, n_blocks)`` block power in watts, columns in
+        ``floorplan.blocks`` order.
+    block_names:
+        Column labels.
+    benchmark:
+        Generating benchmark name.
+    """
+
+    power: np.ndarray
+    block_names: List[str]
+    benchmark: str
+
+    @property
+    def n_steps(self) -> int:
+        """Number of steps."""
+        return self.power.shape[0]
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of block columns."""
+        return self.power.shape[1]
+
+    def total_trace(self) -> np.ndarray:
+        """Chip-total power per step (W)."""
+        return self.power.sum(axis=1)
+
+    def mean_power(self) -> float:
+        """Time-averaged chip power (W)."""
+        return float(self.power.sum(axis=1).mean())
+
+
+class McPATLikePowerModel:
+    """Convert activity traces into block power traces.
+
+    Parameters
+    ----------
+    floorplan:
+        The floorplan whose blocks define the power budget split.
+    config:
+        Model parameters (defaults match the experiment setup).
+    """
+
+    def __init__(
+        self, floorplan: Floorplan, config: PowerModelConfig = PowerModelConfig()
+    ) -> None:
+        self.floorplan = floorplan
+        self.config = config
+        self._peak = self._compute_peak_power()
+
+    def _compute_peak_power(self) -> np.ndarray:
+        """Peak power per block (W), in floorplan block order."""
+        blocks = self.floorplan.blocks
+        peak = np.zeros(len(blocks))
+        # Normalize core blocks' weights within each core.
+        core_ids = sorted({b.core_index for b in blocks if b.core_index >= 0})
+        for cid in core_ids:
+            idx = [j for j, b in enumerate(blocks) if b.core_index == cid]
+            weights = np.array([blocks[j].power_weight for j in idx])
+            total = weights.sum()
+            if total <= 0:
+                raise ValueError(f"core {cid} has zero total power weight")
+            peak[idx] = self.config.core_peak_power * weights / total
+        # Uncore blocks share the uncore budget.
+        uncore_idx = [j for j, b in enumerate(blocks) if b.core_index < 0]
+        if uncore_idx:
+            weights = np.array([blocks[j].power_weight for j in uncore_idx])
+            peak[uncore_idx] = self.config.uncore_peak_power * weights / weights.sum()
+        return peak
+
+    @property
+    def peak_power(self) -> np.ndarray:
+        """Peak per-block power (W), floorplan block order."""
+        return self._peak.copy()
+
+    def block_power(self, traces: ActivityTraces) -> BlockPowerTraces:
+        """Compute per-block power for activity traces.
+
+        ``P_b(t) = gate_b(t) * peak_b * (leak + (1 - leak) * activity_b(t))``
+
+        Power gating removes both dynamic and leakage power (that is its
+        purpose); clock gating is implicit in low activity values, which
+        still burn leakage.
+
+        Parameters
+        ----------
+        traces:
+            Activity/gate traces from
+            :func:`repro.workload.activity.generate_activity`; block
+            order must match the floorplan's.
+        """
+        expected = [b.name for b in self.floorplan.blocks]
+        if traces.block_names != expected:
+            raise ValueError(
+                "activity trace block order does not match the floorplan"
+            )
+        leak = self.config.leakage_fraction
+        dyn = traces.activity * (1.0 - leak) + leak
+        power = traces.gate * dyn * self._peak[np.newaxis, :]
+        return BlockPowerTraces(
+            power=power,
+            block_names=list(traces.block_names),
+            benchmark=traces.benchmark,
+        )

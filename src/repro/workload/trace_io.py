@@ -1,0 +1,135 @@
+"""Import/export of activity traces.
+
+The adoption path for users with *real* profiling data: dump activity
+traces from their own performance models (CSV or ``.npz``) and feed
+them through the same power model, grid simulation and placement flow
+as the synthetic suite.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import List, Optional, TextIO, Union
+
+import numpy as np
+
+from repro.workload.activity import ActivityTraces
+
+__all__ = ["save_activity", "load_activity", "activity_from_csv", "activity_to_csv"]
+
+
+def save_activity(path: str, traces: ActivityTraces) -> None:
+    """Persist activity traces as a compressed ``.npz``.
+
+    Parameters
+    ----------
+    path:
+        Target path; parent directories are created.
+    traces:
+        The traces to save (activity, gate, names, benchmark label).
+    """
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez_compressed(
+        path,
+        activity=np.asarray(traces.activity, dtype=np.float32),
+        gate=np.asarray(traces.gate, dtype=np.float32),
+        block_names=np.asarray(traces.block_names, dtype=object),
+        benchmark=np.asarray([traces.benchmark], dtype=object),
+    )
+
+
+def load_activity(path: str) -> ActivityTraces:
+    """Load traces saved by :func:`save_activity`."""
+    with np.load(path, allow_pickle=True) as npz:
+        return ActivityTraces(
+            activity=np.asarray(npz["activity"], dtype=float),
+            gate=np.asarray(npz["gate"], dtype=float),
+            block_names=[str(n) for n in npz["block_names"]],
+            benchmark=str(npz["benchmark"][0]),
+        )
+
+
+def activity_to_csv(target: Union[str, TextIO], traces: ActivityTraces) -> None:
+    """Write the activity matrix as CSV (one column per block).
+
+    Gate state is folded in (``activity * gate``) since CSV consumers
+    generally want effective utilization; use :func:`save_activity` for
+    a lossless round-trip.
+
+    Parameters
+    ----------
+    target:
+        Path or open text file.
+    traces:
+        The traces to export.
+    """
+    own = isinstance(target, str)
+    fh: TextIO = open(target, "w", newline="", encoding="utf-8") if own else target
+    try:
+        writer = csv.writer(fh)
+        writer.writerow(["step"] + list(traces.block_names))
+        effective = traces.effective_activity()
+        for step in range(traces.n_steps):
+            writer.writerow(
+                [step] + [f"{v:.6f}" for v in effective[step]]
+            )
+    finally:
+        if own:
+            fh.close()
+
+
+def activity_from_csv(
+    source: Union[str, TextIO],
+    benchmark: str = "imported",
+    block_names: Optional[List[str]] = None,
+) -> ActivityTraces:
+    """Read an activity CSV (header of block names, one row per step).
+
+    Values are clipped to [0, 1]; gate state is set to 1 everywhere
+    (gating, if any, is assumed already folded into the utilization —
+    the convention :func:`activity_to_csv` writes).
+
+    Parameters
+    ----------
+    source:
+        Path or open text file with a ``step, <block>, ...`` header.
+    benchmark:
+        Label for the imported workload.
+    block_names:
+        Optional expected block order; mismatches raise so the caller
+        cannot silently feed misaligned columns into a floorplan.
+    """
+    own = isinstance(source, str)
+    fh: TextIO = open(source, "r", newline="", encoding="utf-8") if own else source
+    try:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if not header or header[0] != "step" or len(header) < 2:
+            raise ValueError("CSV must start with a 'step,<block>,...' header")
+        names = header[1:]
+        rows = []
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise ValueError(
+                    f"line {line_no}: expected {len(header)} cells, got {len(row)}"
+                )
+            rows.append([float(v) for v in row[1:]])
+    finally:
+        if own:
+            fh.close()
+    if not rows:
+        raise ValueError("CSV contains no data rows")
+    if block_names is not None and names != list(block_names):
+        raise ValueError(
+            "CSV block columns do not match the expected floorplan order"
+        )
+    activity = np.clip(np.asarray(rows, dtype=float), 0.0, 1.0)
+    return ActivityTraces(
+        activity=activity,
+        gate=np.ones_like(activity),
+        block_names=names,
+        benchmark=benchmark,
+    )

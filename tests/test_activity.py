@@ -1,0 +1,128 @@
+"""Tests for repro.workload.activity."""
+
+import numpy as np
+import pytest
+
+from repro.floorplan.blocks import UnitKind
+from repro.workload.activity import generate_activity
+from repro.workload.benchmarks import get_benchmark
+
+
+class TestGenerateActivity:
+    def test_shapes_and_order(self, small_floorplan):
+        spec = get_benchmark("x264")
+        traces = generate_activity(small_floorplan, spec, 100, rng=0)
+        assert traces.activity.shape == (100, 12)
+        assert traces.gate.shape == (100, 12)
+        assert traces.block_names == [b.name for b in small_floorplan.blocks]
+        assert traces.benchmark == "x264"
+
+    def test_activity_in_unit_interval(self, small_floorplan):
+        traces = generate_activity(
+            small_floorplan, get_benchmark("canneal"), 300, rng=1
+        )
+        assert traces.activity.min() >= 0.0
+        assert traces.activity.max() <= 1.0
+
+    def test_gate_ones_for_ungateable(self, small_floorplan):
+        traces = generate_activity(
+            small_floorplan, get_benchmark("x264"), 400, rng=2
+        )
+        for j, blk in enumerate(small_floorplan.blocks):
+            if not blk.gateable:
+                assert np.all(traces.gate[:, j] == 1.0)
+
+    def test_gateable_blocks_do_gate(self, small_floorplan):
+        # With a high gating rate some gateable block must gate sometime.
+        spec = get_benchmark("x264")  # gating_rate 0.028
+        traces = generate_activity(small_floorplan, spec, 2000, rng=3)
+        gateable = [j for j, b in enumerate(small_floorplan.blocks) if b.gateable]
+        assert traces.gate[:, gateable].min() < 1.0
+
+    def test_deterministic(self, small_floorplan):
+        spec = get_benchmark("ferret")
+        a = generate_activity(small_floorplan, spec, 50, rng=42)
+        b = generate_activity(small_floorplan, spec, 50, rng=42)
+        assert np.array_equal(a.activity, b.activity)
+        assert np.array_equal(a.gate, b.gate)
+
+    def test_affinity_orders_mean_activity(self, xeon_floorplan):
+        # FPU-heavy benchmark: FPU blocks more active than L2 blocks.
+        spec = get_benchmark("swaptions")  # fpu 0.85, l2 0.2
+        traces = generate_activity(
+            xeon_floorplan, spec, 600, rng=4, core_coupling=0.0
+        )
+        act = traces.activity
+        fpu_cols = [
+            j for j, b in enumerate(xeon_floorplan.blocks) if b.unit == UnitKind.FPU
+        ]
+        l2_cols = [
+            j
+            for j, b in enumerate(xeon_floorplan.blocks)
+            if b.unit == UnitKind.L2_CACHE
+        ]
+        assert act[:, fpu_cols].mean() > act[:, l2_cols].mean() + 0.2
+
+    def test_same_unit_blocks_correlated(self, xeon_floorplan):
+        spec = get_benchmark("x264")
+        traces = generate_activity(xeon_floorplan, spec, 500, rng=5)
+        exe_cols = [
+            j
+            for j, b in enumerate(xeon_floorplan.blocks)
+            if b.unit == UnitKind.EXECUTION and b.core_index == 0
+        ]
+        a, b = traces.activity[:, exe_cols[0]], traces.activity[:, exe_cols[1]]
+        corr = np.corrcoef(a, b)[0, 1]
+        assert corr > 0.7
+
+    def test_core_coupling_increases_cross_unit_correlation(self, xeon_floorplan):
+        spec = get_benchmark("ferret")
+
+        def cross_unit_corr(coupling):
+            traces = generate_activity(
+                xeon_floorplan, spec, 600, rng=6, core_coupling=coupling
+            )
+            cols = {
+                unit: next(
+                    j
+                    for j, b in enumerate(xeon_floorplan.blocks)
+                    if b.unit == unit and b.core_index == 0
+                )
+                for unit in (UnitKind.EXECUTION, UnitKind.L2_CACHE)
+            }
+            a = traces.activity[:, cols[UnitKind.EXECUTION]]
+            b = traces.activity[:, cols[UnitKind.L2_CACHE]]
+            return np.corrcoef(a, b)[0, 1]
+
+        assert cross_unit_corr(0.9) > cross_unit_corr(0.0) + 0.2
+
+    def test_core_gating_scope_shares_channel(self, small_floorplan):
+        spec = get_benchmark("x264")
+        traces = generate_activity(
+            small_floorplan, spec, 1500, rng=7, gating_scope="core"
+        )
+        gateable = [
+            j
+            for j, b in enumerate(small_floorplan.blocks)
+            if b.gateable and b.core_index == 0
+        ]
+        # All gateable blocks of a core share one gate trace exactly.
+        for j in gateable[1:]:
+            assert np.array_equal(traces.gate[:, j], traces.gate[:, gateable[0]])
+
+    def test_effective_activity(self, small_floorplan):
+        traces = generate_activity(
+            small_floorplan, get_benchmark("x264"), 100, rng=8
+        )
+        assert np.allclose(
+            traces.effective_activity(), traces.activity * traces.gate
+        )
+
+    def test_rejects_bad_args(self, small_floorplan):
+        spec = get_benchmark("x264")
+        with pytest.raises(ValueError):
+            generate_activity(small_floorplan, spec, 0)
+        with pytest.raises(ValueError):
+            generate_activity(small_floorplan, spec, 10, core_coupling=1.5)
+        with pytest.raises(ValueError):
+            generate_activity(small_floorplan, spec, 10, gating_scope="chip")

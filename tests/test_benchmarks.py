@@ -1,0 +1,62 @@
+"""Tests for repro.workload.benchmarks."""
+
+import pytest
+
+from repro.floorplan.blocks import UnitKind
+from repro.workload.benchmarks import (
+    PARSEC_LIKE_SUITE,
+    BenchmarkSpec,
+    benchmark_names,
+    get_benchmark,
+)
+
+
+class TestSuite:
+    def test_has_19_benchmarks(self):
+        assert len(PARSEC_LIKE_SUITE) == 19
+
+    def test_names_unique(self):
+        names = benchmark_names()
+        assert len(set(names)) == 19
+
+    def test_lookup(self):
+        assert get_benchmark("x264").name == "x264"
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_benchmark("doom")
+
+    def test_suite_diversity(self):
+        # The suite must span compute-bound and memory-bound behaviour.
+        fpu = [bm.affinity(UnitKind.FPU) for bm in PARSEC_LIKE_SUITE]
+        ls = [bm.affinity(UnitKind.LOAD_STORE) for bm in PARSEC_LIKE_SUITE]
+        assert max(fpu) > 0.8 and min(fpu) < 0.2
+        assert max(ls) >= 0.75
+
+    def test_all_specs_valid_ranges(self):
+        for bm in PARSEC_LIKE_SUITE:
+            assert 0 < bm.phase_length
+            assert 0 <= bm.burstiness <= 1
+            assert 0 <= bm.gating_rate <= 1
+            for level in bm.unit_affinity.values():
+                assert 0 <= level <= 1
+
+
+class TestBenchmarkSpec:
+    def test_affinity_default(self):
+        spec = BenchmarkSpec(name="t", unit_affinity={})
+        assert spec.affinity(UnitKind.EXECUTION) == 0.3
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(name="", unit_affinity={})
+
+    def test_rejects_out_of_range_affinity(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(name="t", unit_affinity={UnitKind.FPU: 1.5})
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(name="t", unit_affinity={}, gating_rate=2.0)
+        with pytest.raises(ValueError):
+            BenchmarkSpec(name="t", unit_affinity={}, phase_length=0.0)

@@ -1,0 +1,57 @@
+"""Tests for repro.floorplan.blocks."""
+
+import pytest
+
+from repro.floorplan.blocks import FunctionBlock, UnitKind
+from repro.floorplan.geometry import Rect
+
+
+class TestUnitKind:
+    def test_all_have_display_chars(self):
+        chars = [k.display_char for k in UnitKind]
+        assert all(len(c) == 1 for c in chars)
+
+    def test_display_chars_unique(self):
+        chars = [k.display_char for k in UnitKind]
+        assert len(set(chars)) == len(chars)
+
+
+class TestFunctionBlock:
+    def make(self, **kw):
+        defaults = dict(
+            name="core0/alu0",
+            unit=UnitKind.EXECUTION,
+            rect=Rect(0, 0, 1, 1),
+            core_index=0,
+        )
+        defaults.update(kw)
+        return FunctionBlock(**defaults)
+
+    def test_defaults(self):
+        b = self.make()
+        assert b.power_weight == 1.0
+        assert b.gateable
+        assert not b.is_uncore
+
+    def test_uncore_flag(self):
+        assert self.make(core_index=-1).is_uncore
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            self.make(name="")
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            self.make(power_weight=-0.1)
+
+    def test_with_rect_preserves_identity(self):
+        b = self.make()
+        moved = b.with_rect(Rect(5, 5, 2, 2))
+        assert moved.name == b.name
+        assert moved.unit == b.unit
+        assert moved.rect.x == 5
+        assert b.rect.x == 0  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            self.make().core_index = 3

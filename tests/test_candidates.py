@@ -1,0 +1,84 @@
+"""Tests for repro.floorplan.candidates."""
+
+import numpy as np
+import pytest
+
+from repro.floorplan.candidates import classify_nodes
+from repro.floorplan.blocks import FunctionBlock, UnitKind
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.geometry import Rect
+
+
+def tiny_plan():
+    return Floorplan(
+        chip=Rect(0, 0, 4, 2),
+        blocks=[
+            FunctionBlock("blk0", UnitKind.EXECUTION, Rect(0.5, 0.5, 1, 1), 0),
+            FunctionBlock("blk1", UnitKind.L1_CACHE, Rect(2.5, 0.5, 1, 1), 0),
+        ],
+        core_rects=[Rect(0.25, 0.25, 3.5, 1.5)],
+    )
+
+
+class TestClassifyNodes:
+    def test_partition_is_complete_and_disjoint(self):
+        fp = tiny_plan()
+        coords = [[x * 0.25, y * 0.25] for x in range(17) for y in range(9)]
+        cls = classify_nodes(fp, coords)
+        fa = set(cls.fa_nodes())
+        ba = set(cls.ba_nodes)
+        assert fa.isdisjoint(ba)
+        assert fa | ba == set(range(len(coords)))
+
+    def test_block_membership(self):
+        fp = tiny_plan()
+        coords = [[1.0, 1.0], [3.0, 1.0], [0.1, 0.1]]
+        cls = classify_nodes(fp, coords)
+        assert cls.block_of_node[0] == "blk0"
+        assert cls.block_of_node[1] == "blk1"
+        assert cls.block_of_node[2] is None
+        assert cls.block_nodes["blk0"] == [0]
+        assert cls.ba_nodes == [2]
+
+    def test_core_assignment(self):
+        fp = tiny_plan()
+        coords = [[1.0, 1.0], [0.1, 0.1]]
+        cls = classify_nodes(fp, coords)
+        assert cls.core_of_node[0] == 0
+        assert cls.core_of_node[1] == -1
+
+    def test_candidates_by_core(self):
+        fp = tiny_plan()
+        coords = [[2.0, 1.0], [0.05, 0.05]]  # first in core channel, second outside
+        cls = classify_nodes(fp, coords)
+        assert cls.candidates_in_core(0) == [0]
+        assert cls.ba_nodes_by_core[-1] == [1]
+
+    def test_empty_blocks_reported(self):
+        fp = tiny_plan()
+        cls = classify_nodes(fp, [[0.05, 0.05]])
+        assert set(cls.empty_blocks()) == {"blk0", "blk1"}
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match=r"\(n, 2\)"):
+            classify_nodes(tiny_plan(), np.zeros((3, 3)))
+
+    def test_counts(self):
+        fp = tiny_plan()
+        coords = [[1.0, 1.0], [3.0, 1.0], [0.1, 0.1], [3.9, 1.9]]
+        cls = classify_nodes(fp, coords)
+        assert cls.n_nodes == 4
+        assert cls.n_candidates == 2
+
+
+class TestAgainstRealFloorplan:
+    def test_xeon_grid_classification(self, xeon_floorplan):
+        # Regular grid at 0.2 mm must give every block at least one node
+        # and every core a healthy candidate pool.
+        xs = np.arange(0, xeon_floorplan.chip.width + 1e-9, 0.2)
+        ys = np.arange(0, xeon_floorplan.chip.height + 1e-9, 0.2)
+        coords = np.array([[x, y] for y in ys for x in xs])
+        cls = classify_nodes(xeon_floorplan, coords)
+        assert cls.empty_blocks() == []
+        for core in range(xeon_floorplan.n_cores):
+            assert len(cls.candidates_in_core(core)) > 50

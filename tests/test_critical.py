@@ -1,0 +1,69 @@
+"""Tests for repro.voltage.critical."""
+
+import numpy as np
+import pytest
+
+from repro.floorplan.candidates import NodeClassification
+from repro.voltage.critical import select_critical_nodes, select_representative_nodes
+
+
+def make_classification():
+    """4 nodes: blockA has nodes 0,1; blockB has node 2; node 3 is BA."""
+    return NodeClassification(
+        block_of_node=["A", "A", "B", None],
+        block_nodes={"A": [0, 1], "B": [2]},
+        ba_nodes=[3],
+        core_of_node=[0, 0, 0, 0],
+        ba_nodes_by_core={0: [3]},
+    )
+
+
+class TestSelectCriticalNodes:
+    def test_picks_worst_noise_node(self):
+        cls = make_classification()
+        voltages = np.array(
+            [
+                [0.95, 0.90, 0.92, 0.99],
+                [0.96, 0.85, 0.93, 0.98],  # node 1 dips lowest in A
+            ]
+        )
+        critical = select_critical_nodes(voltages, cls)
+        assert critical == {"A": 1, "B": 2}
+
+    def test_rejects_shape_mismatch(self):
+        cls = make_classification()
+        with pytest.raises(ValueError):
+            select_critical_nodes(np.ones((2, 7)), cls)
+
+    def test_rejects_empty_block(self):
+        cls = make_classification()
+        cls.block_nodes["C"] = []
+        with pytest.raises(ValueError, match="without grid nodes"):
+            select_critical_nodes(np.ones((2, 4)), cls)
+
+
+class TestRepresentativeNodes:
+    def test_single_representative_matches_critical(self):
+        cls = make_classification()
+        voltages = np.array([[0.95, 0.90, 0.92, 0.99]])
+        reps = select_representative_nodes(voltages, cls, nodes_per_block=1)
+        critical = select_critical_nodes(voltages, cls)
+        assert {k: v[0] for k, v in reps.items()} == critical
+
+    def test_multiple_representatives_ordered(self):
+        cls = make_classification()
+        voltages = np.array([[0.95, 0.90, 0.92, 0.99]])
+        reps = select_representative_nodes(voltages, cls, nodes_per_block=2)
+        assert reps["A"] == [1, 0]  # worst first
+
+    def test_clipped_to_block_size(self):
+        cls = make_classification()
+        voltages = np.array([[0.95, 0.90, 0.92, 0.99]])
+        reps = select_representative_nodes(voltages, cls, nodes_per_block=5)
+        assert len(reps["B"]) == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            select_representative_nodes(
+                np.ones((1, 4)), make_classification(), nodes_per_block=0
+            )

@@ -1,0 +1,102 @@
+"""Tests for repro.experiments.data_generation (end-to-end data)."""
+
+import numpy as np
+
+from repro.experiments.data_generation import (
+    build_chip,
+    build_dataset,
+    generate_maps,
+    simulate_benchmark_trace,
+)
+from tests.conftest import TINY_SETUP
+
+
+class TestBuildChip:
+    def test_components_consistent(self, tiny_data):
+        chip = tiny_data.chip
+        assert chip.floorplan.n_cores == TINY_SETUP.chip.n_cores
+        assert chip.grid.n_nodes == chip.classification.n_nodes
+        assert chip.classification.empty_blocks() == []
+
+    def test_xeon_template(self):
+        from repro.experiments.config import ChipConfig
+
+        chip = build_chip(ChipConfig(core_cols=1, core_rows=1))
+        assert chip.floorplan.n_blocks == 30
+
+
+class TestGeneratedData:
+    def test_dataset_shapes(self, tiny_data):
+        train = tiny_data.train
+        assert train.n_samples == TINY_SETUP.train.n_samples
+        assert train.n_blocks == tiny_data.chip.floorplan.n_blocks
+        assert train.n_candidates == len(tiny_data.chip.classification.ba_nodes)
+
+    def test_eval_uses_training_critical_nodes(self, tiny_data):
+        assert np.array_equal(
+            tiny_data.train.critical_nodes, tiny_data.eval.critical_nodes
+        )
+        # critical map covers every block
+        assert set(tiny_data.critical.keys()) == set(tiny_data.train.block_names)
+
+    def test_voltages_physical(self, tiny_data):
+        # Droops stay far from collapse; inductive overshoot above VDD
+        # is physical but bounded.
+        for ds in (tiny_data.train, tiny_data.eval):
+            assert ds.X.min() > 0.5
+            assert ds.X.max() < 1.2
+            assert ds.F.min() > 0.5
+
+    def test_critical_nodes_inside_own_block(self, tiny_data):
+        cls = tiny_data.chip.classification
+        for name, node in tiny_data.critical.items():
+            assert cls.block_of_node[node] == name
+
+    def test_candidates_are_ba_nodes(self, tiny_data):
+        cls = tiny_data.chip.classification
+        for node in tiny_data.train.candidate_nodes:
+            assert cls.block_of_node[node] is None
+
+    def test_benchmark_labels_cover_suite(self, tiny_data):
+        train = tiny_data.train
+        assert train.benchmark_names == list(TINY_SETUP.train.benchmarks)
+        present = set(train.benchmark_of_sample.tolist())
+        assert present == set(range(len(train.benchmark_names)))
+
+    def test_emergencies_exist(self, tiny_data):
+        # The tiny profile is calibrated to produce some emergencies.
+        thr = TINY_SETUP.chip.emergency_threshold
+        assert (tiny_data.train.F < thr).any()
+
+
+class TestDeterminism:
+    def test_maps_reproducible(self, tiny_data):
+        maps_a = generate_maps(tiny_data.chip, TINY_SETUP.eval)
+        maps_b = generate_maps(tiny_data.chip, TINY_SETUP.eval)
+        assert np.array_equal(maps_a.voltages, maps_b.voltages)
+
+    def test_train_eval_differ(self, tiny_data):
+        assert not np.array_equal(
+            tiny_data.train.X[:50], tiny_data.eval.X[:50]
+        )
+
+
+class TestSimulateTrace:
+    def test_trace_shape_and_order(self, tiny_data):
+        volts, times = simulate_benchmark_trace(
+            tiny_data.chip, "x264", n_steps=40, seed=1
+        )
+        assert volts.shape == (40, tiny_data.chip.grid.n_nodes)
+        assert np.all(np.diff(times) > 0)
+
+    def test_different_seeds_differ(self, tiny_data):
+        a, _ = simulate_benchmark_trace(tiny_data.chip, "x264", n_steps=20, seed=1)
+        b, _ = simulate_benchmark_trace(tiny_data.chip, "x264", n_steps=20, seed=2)
+        assert not np.array_equal(a, b)
+
+
+class TestBuildDataset:
+    def test_explicit_critical_map_respected(self, tiny_data):
+        maps = generate_maps(tiny_data.chip, TINY_SETUP.eval)
+        ds = build_dataset(tiny_data.chip, maps, critical=tiny_data.critical)
+        assert np.array_equal(ds.critical_nodes, tiny_data.train.critical_nodes)

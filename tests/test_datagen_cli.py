@@ -1,0 +1,32 @@
+"""Tests for the dataset-generation CLI."""
+
+import os
+
+import pytest
+
+from repro.experiments.datagen_cli import main
+from repro.voltage.persistence import load_dataset
+
+
+class TestDatagenCLI:
+    def test_fast_profile_end_to_end(self, tmp_path):
+        out = str(tmp_path / "data")
+        code = main(["--out", out, "--profile", "fast", "--quiet"])
+        assert code == 0
+        train = load_dataset(os.path.join(out, "train.npz"))
+        evald = load_dataset(os.path.join(out, "eval.npz"))
+        assert train.n_samples > 0
+        assert evald.n_candidates == train.n_candidates
+        # loaded datasets drive the pipeline
+        from repro.core import PipelineConfig, fit_placement
+
+        model = fit_placement(train, PipelineConfig(budget=1.0))
+        assert model.predict(evald.X[:3]).shape == (3, train.n_blocks)
+
+    def test_requires_out(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            main(["--out", "x", "--profile", "huge"])

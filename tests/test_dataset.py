@@ -1,0 +1,101 @@
+"""Tests for repro.voltage.dataset."""
+
+import numpy as np
+import pytest
+
+
+
+class TestConstruction:
+    def test_shapes(self, synthetic_dataset):
+        ds = synthetic_dataset
+        assert ds.n_samples == 400
+        assert ds.n_candidates == 24
+        assert ds.n_blocks == 6
+        assert ds.core_ids == [0, 1]
+
+    def test_rejects_sample_mismatch(self, synthetic_dataset):
+        ds = synthetic_dataset
+        with pytest.raises(ValueError):
+            type(ds)(
+                X=ds.X,
+                F=ds.F[:-1],
+                candidate_nodes=ds.candidate_nodes,
+                candidate_cores=ds.candidate_cores,
+                critical_nodes=ds.critical_nodes,
+                block_names=ds.block_names,
+                block_cores=ds.block_cores,
+                benchmark_of_sample=ds.benchmark_of_sample,
+                benchmark_names=ds.benchmark_names,
+            )
+
+    def test_rejects_column_metadata_mismatch(self, synthetic_dataset):
+        ds = synthetic_dataset
+        with pytest.raises(ValueError):
+            type(ds)(
+                X=ds.X,
+                F=ds.F,
+                candidate_nodes=ds.candidate_nodes[:-1],
+                candidate_cores=ds.candidate_cores,
+                critical_nodes=ds.critical_nodes,
+                block_names=ds.block_names,
+                block_cores=ds.block_cores,
+                benchmark_of_sample=ds.benchmark_of_sample,
+                benchmark_names=ds.benchmark_names,
+            )
+
+
+class TestCoreView:
+    def test_columns_partition(self, synthetic_dataset):
+        ds = synthetic_dataset
+        all_cand = []
+        all_blocks = []
+        for core in ds.core_ids:
+            cand, blocks = ds.core_view(core)
+            all_cand.extend(cand.tolist())
+            all_blocks.extend(blocks.tolist())
+        assert sorted(all_cand) == list(range(ds.n_candidates))
+        assert sorted(all_blocks) == list(range(ds.n_blocks))
+
+    def test_core_isolation(self, synthetic_dataset):
+        cand, blocks = synthetic_dataset.core_view(1)
+        assert np.all(synthetic_dataset.candidate_cores[cand] == 1)
+        assert np.all(synthetic_dataset.block_cores[blocks] == 1)
+
+
+class TestSubsetting:
+    def test_subset_samples(self, synthetic_dataset):
+        sub = synthetic_dataset.subset_samples([0, 5, 9])
+        assert sub.n_samples == 3
+        assert np.array_equal(sub.X, synthetic_dataset.X[[0, 5, 9]])
+        # column metadata untouched
+        assert sub.n_candidates == synthetic_dataset.n_candidates
+
+    def test_subset_benchmark(self, synthetic_dataset):
+        sub = synthetic_dataset.subset_benchmark("bm_a")
+        assert np.all(
+            sub.benchmark_of_sample
+            == synthetic_dataset.benchmark_names.index("bm_a")
+        )
+
+    def test_subset_unknown_benchmark(self, synthetic_dataset):
+        with pytest.raises(KeyError):
+            synthetic_dataset.subset_benchmark("zzz")
+
+    def test_train_test_split_disjoint_cover(self, synthetic_dataset):
+        train, test = synthetic_dataset.train_test_split(0.25, rng=0)
+        assert train.n_samples + test.n_samples == synthetic_dataset.n_samples
+        assert test.n_samples == 100
+
+    def test_split_deterministic(self, synthetic_dataset):
+        t1, _ = synthetic_dataset.train_test_split(0.25, rng=5)
+        t2, _ = synthetic_dataset.train_test_split(0.25, rng=5)
+        assert np.array_equal(t1.X, t2.X)
+
+    def test_split_rejects_bad_fraction(self, synthetic_dataset):
+        with pytest.raises(ValueError):
+            synthetic_dataset.train_test_split(0.0)
+        with pytest.raises(ValueError):
+            synthetic_dataset.train_test_split(1.0)
+
+    def test_summary(self, synthetic_dataset):
+        assert "N=400" in synthetic_dataset.summary()

@@ -1,0 +1,71 @@
+"""Tests for the optional DVFS event model in activity generation."""
+
+import numpy as np
+import pytest
+
+from repro.workload.activity import generate_activity
+from repro.workload.benchmarks import get_benchmark
+
+
+class TestDVFS:
+    def test_disabled_by_default(self, small_floorplan):
+        spec = get_benchmark("x264")
+        a = generate_activity(small_floorplan, spec, 200, rng=1)
+        b = generate_activity(small_floorplan, spec, 200, rng=1, dvfs_rate=0.0)
+        assert np.array_equal(a.activity, b.activity)
+
+    def test_low_state_reduces_mean_activity(self, small_floorplan):
+        spec = get_benchmark("x264")
+        base = generate_activity(small_floorplan, spec, 800, rng=2)
+        dvfs = generate_activity(
+            small_floorplan, spec, 800, rng=2, dvfs_rate=0.05, dvfs_scale=0.5
+        )
+        assert dvfs.activity.mean() < base.activity.mean()
+
+    def test_activity_stays_in_unit_interval(self, small_floorplan):
+        spec = get_benchmark("streamcluster")
+        traces = generate_activity(
+            small_floorplan, spec, 400, rng=3, dvfs_rate=0.1, dvfs_scale=0.4
+        )
+        assert traces.activity.min() >= 0.0
+        assert traces.activity.max() <= 1.0
+
+    def test_transitions_are_ramped(self, small_floorplan):
+        # The per-core DVFS level slews over ~3 steps, so a block's
+        # activity cannot collapse by the full (1 - scale) in one step
+        # beyond what the workload itself does.
+        spec = get_benchmark("lu")  # smooth workload, long phases
+        base = generate_activity(small_floorplan, spec, 600, rng=4)
+        dvfs = generate_activity(
+            small_floorplan, spec, 600, rng=4, dvfs_rate=0.02, dvfs_scale=0.4
+        )
+        # DVFS adds step changes, but bounded by the ramp: per-step
+        # change of the dvfs multiplier is <= (1-0.4)/3 = 0.2.
+        base_steps = np.abs(np.diff(base.activity, axis=0)).max()
+        dvfs_steps = np.abs(np.diff(dvfs.activity, axis=0)).max()
+        assert dvfs_steps <= base_steps + 0.2 + 1e-9
+
+    def test_core_wide_effect(self, small_floorplan):
+        # All blocks of a core share the DVFS state: in a window where
+        # one block's scale dropped, its core-mates dropped too.
+        spec = get_benchmark("canneal")
+        base = generate_activity(small_floorplan, spec, 600, rng=5)
+        dvfs = generate_activity(
+            small_floorplan, spec, 600, rng=5, dvfs_rate=0.03, dvfs_scale=0.5
+        )
+        ratio = np.where(base.activity > 0.05, dvfs.activity / np.maximum(base.activity, 1e-9), 1.0)
+        core0 = [j for j, b in enumerate(small_floorplan.blocks) if b.core_index == 0]
+        # Per-step core-mate ratios move together (high correlation).
+        r = ratio[:, core0]
+        valid = r.std(axis=0) > 1e-6
+        cols = np.nonzero(valid)[0]
+        if cols.size >= 2:
+            c = np.corrcoef(r[:, cols[0]], r[:, cols[1]])[0, 1]
+            assert c > 0.5
+
+    def test_validation(self, small_floorplan):
+        spec = get_benchmark("x264")
+        with pytest.raises(ValueError):
+            generate_activity(small_floorplan, spec, 10, dvfs_rate=1.5)
+        with pytest.raises(ValueError):
+            generate_activity(small_floorplan, spec, 10, dvfs_scale=0.0)

@@ -1,0 +1,97 @@
+"""Tests for repro.workload.events (gating schedules)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.events import generate_gating_schedule
+
+
+class TestGenerateGatingSchedule:
+    def test_shapes(self):
+        sched = generate_gating_schedule(100, np.array([0.5, 0.8]), 0.05, rng=0)
+        assert sched.gate.shape == (100, 2)
+        assert sched.n_steps == 100
+        assert sched.n_channels == 2
+
+    def test_gate_bounded(self):
+        sched = generate_gating_schedule(500, np.array([0.5]), 0.1, rng=1)
+        assert sched.gate.min() >= 0.0
+        assert sched.gate.max() <= 1.0
+
+    def test_zero_rate_never_gates(self):
+        sched = generate_gating_schedule(200, np.array([0.5]), 0.0, rng=2)
+        # Initial state may be off, but no transitions ever occur.
+        assert len(sched.events) == 0
+        assert np.all(np.diff(sched.gate[:, 0]) >= -1e-12) or np.all(
+            np.diff(sched.gate[:, 0]) <= 1e-12
+        )
+
+    def test_duty_cycle_approximate(self):
+        # Long-run ON fraction should approach the requested duty cycle.
+        rng = np.random.default_rng(3)
+        duties = np.array([0.3, 0.7])
+        sched = generate_gating_schedule(20000, duties, 0.05, rng=rng)
+        on_frac = (sched.gate > 0.5).mean(axis=0)
+        assert np.allclose(on_frac, duties, atol=0.08)
+
+    def test_events_recorded_in_step_order(self):
+        sched = generate_gating_schedule(500, np.array([0.5]), 0.1, rng=4)
+        steps = [e.step for e in sched.events]
+        assert steps == sorted(steps)
+        assert all(e.kind in ("wake", "sleep") for e in sched.events)
+
+    def test_wake_count(self):
+        sched = generate_gating_schedule(500, np.array([0.5]), 0.1, rng=5)
+        wakes = sum(1 for e in sched.events if e.kind == "wake")
+        assert sched.wake_count() == wakes
+
+    def test_ramp_limits_slew(self):
+        sched = generate_gating_schedule(
+            300, np.array([0.5]), 0.2, ramp_steps=4, rng=6
+        )
+        deltas = np.abs(np.diff(sched.gate[:, 0]))
+        assert deltas.max() <= 0.25 + 1e-12
+
+    def test_deterministic_given_seed(self):
+        a = generate_gating_schedule(100, np.array([0.5]), 0.1, rng=7)
+        b = generate_gating_schedule(100, np.array([0.5]), 0.1, rng=7)
+        assert np.array_equal(a.gate, b.gate)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            generate_gating_schedule(0, np.array([0.5]), 0.1)
+        with pytest.raises(ValueError):
+            generate_gating_schedule(10, np.array([0.0]), 0.1)
+        with pytest.raises(ValueError):
+            generate_gating_schedule(10, np.array([1.5]), 0.1)
+        with pytest.raises(ValueError):
+            generate_gating_schedule(10, np.array([[0.5]]), 0.1)
+        with pytest.raises(ValueError):
+            generate_gating_schedule(10, np.array([0.5]), 1.5)
+
+
+class TestGatingProperties:
+    @given(
+        rate=st.floats(0.0, 0.3),
+        duty=st.floats(0.05, 1.0),
+        ramp=st.integers(1, 5),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_gate_always_in_unit_interval(self, rate, duty, ramp, seed):
+        sched = generate_gating_schedule(
+            120, np.array([duty]), rate, ramp_steps=ramp, rng=seed
+        )
+        assert sched.gate.min() >= 0.0
+        assert sched.gate.max() <= 1.0
+
+    @given(ramp=st.integers(1, 6), seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_slew_rate_never_exceeds_ramp(self, ramp, seed):
+        sched = generate_gating_schedule(
+            200, np.array([0.5]), 0.15, ramp_steps=ramp, rng=seed
+        )
+        deltas = np.abs(np.diff(sched.gate[:, 0]))
+        assert deltas.max() <= 1.0 / ramp + 1e-12

@@ -1,0 +1,171 @@
+"""Tests for the per-table/figure experiment modules (on tiny data)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.fig1_beta_norms import render_fig1, run_fig1
+from repro.experiments.fig2_trace_prediction import render_fig2, run_fig2
+from repro.experiments.fig3_placement_map import render_fig3, run_fig3
+from repro.experiments.fig4_error_vs_sensors import render_fig4, run_fig4
+from repro.experiments.table1_lambda_sweep import render_table1, run_table1
+from repro.experiments.table2_error_rates import render_table2, run_table2
+
+
+class TestFig1:
+    def test_runs_and_selects(self, tiny_data):
+        result = run_fig1(tiny_data, budgets=(0.5, 2.0), core_index=0)
+        assert result.budgets == [0.5, 2.0]
+        for b in result.budgets:
+            assert result.norms[b].shape[0] > 0
+            assert result.selected[b].size >= 1
+        # Larger budget selects at least as many sensors.
+        assert result.selected[0.5].size <= result.selected[2.0].size
+
+    def test_separation_large(self, tiny_data):
+        # Selected/unselected norm separation: the Fig. 1 story.
+        result = run_fig1(tiny_data, budgets=(0.5,), core_index=0)
+        assert result.separation(0.5) > 1e3
+
+    def test_render(self, tiny_data):
+        result = run_fig1(tiny_data, budgets=(0.5,), core_index=0)
+        text = render_fig1(result)
+        assert "Fig. 1" in text
+        assert "lambda = 0.5" in text
+
+    def test_rejects_bad_core(self, tiny_data):
+        with pytest.raises(ValueError):
+            run_fig1(tiny_data, core_index=99)
+
+
+class TestTable1:
+    def test_rows_and_monotonicity(self, tiny_data):
+        result = run_table1(tiny_data, budgets=(0.5, 2.0, 6.0))
+        assert len(result.points) == 3
+        counts = result.sensors_per_core
+        assert counts == sorted(counts)
+        # Error at the largest budget beats the smallest.
+        assert (
+            result.eval_relative_errors[-1]
+            <= result.eval_relative_errors[0] + 1e-9
+        )
+
+    def test_error_below_one_percent_shape(self, tiny_data):
+        # The paper's headline: < 1e-2 relative error even at small Q.
+        result = run_table1(tiny_data, budgets=(0.5,))
+        assert result.eval_relative_errors[0] < 0.01
+
+    def test_render(self, tiny_data):
+        result = run_table1(tiny_data, budgets=(0.5, 2.0))
+        text = render_table1(result)
+        assert "Table 1" in text
+        assert "monotone" in text
+
+
+class TestFig2:
+    def test_trace_prediction(self, tiny_data):
+        result = run_fig2(
+            tiny_data, sensor_counts=(1, 3), n_steps=60, trace_seed=5
+        )
+        assert result.real.shape == (60,)
+        assert set(result.predicted) == {1, 3}
+        # More sensors -> tighter trace (mean relative error).
+        assert result.errors[3][0] <= result.errors[1][0] + 1e-9
+
+    def test_prediction_tracks_reality(self, tiny_data):
+        result = run_fig2(tiny_data, sensor_counts=(3,), n_steps=60)
+        gap = np.abs(result.predicted[3] - result.real).mean()
+        assert gap < 0.02  # within 20 mV on average
+
+    def test_render(self, tiny_data):
+        result = run_fig2(tiny_data, sensor_counts=(1,), n_steps=40)
+        text = render_fig2(result)
+        assert "Fig. 2" in text
+        assert "sensors/core" in text
+
+
+class TestFig3:
+    def test_placements_differ(self, tiny_data):
+        result = run_fig3(tiny_data, n_sensors=3, core_index=0)
+        assert result.proposed_nodes.shape[0] >= 1
+        assert result.eagle_eye_nodes.shape[0] == 3
+        assert sum(result.eagle_eye_unit_counts.values()) == 3
+
+    def test_eagle_eye_concentrates_on_noisy_unit(self, tiny_data):
+        result = run_fig3(tiny_data, n_sensors=3, core_index=0)
+        ee_near = result.eagle_eye_unit_counts.get(result.noisiest_unit, 0)
+        prop_near = result.proposed_unit_counts.get(result.noisiest_unit, 0)
+        # The paper's observation, as an inequality: EE is at least as
+        # concentrated on the noisiest unit as the proposed approach.
+        assert ee_near >= prop_near
+
+    def test_render(self, tiny_data):
+        result = run_fig3(tiny_data, n_sensors=2, core_index=0)
+        text = render_fig3(result)
+        assert "Proposed" in text
+        assert "Eagle-Eye" in text
+        assert "X" in text
+
+
+class TestTable2:
+    def test_rates_per_benchmark(self, tiny_data):
+        result = run_table2(tiny_data, sensors_per_core=1)
+        assert set(result.eagle_eye) == set(tiny_data.eval.benchmark_names)
+        for rates in result.proposed.values():
+            assert 0 <= rates.total <= 1
+
+    def test_block_level_rates_attached(self, tiny_data):
+        result = run_table2(tiny_data, sensors_per_core=1)
+        assert result.proposed_block is not None
+        assert result.eagle_eye_block is not None
+
+    def test_render(self, tiny_data):
+        result = run_table2(tiny_data, sensors_per_core=1)
+        text = render_table2(result)
+        assert "Table 2" in text
+        assert "ME ratio" in text
+        assert "per-block" in text
+
+
+class TestFig4:
+    def test_sweep_structure(self, tiny_data):
+        result = run_fig4(tiny_data, sensor_counts=(1, 3))
+        assert result.sensors_per_core == [1, 3]
+        assert len(result.eagle_eye) == 2
+        assert len(result.total_sensors) == 2
+
+    def test_proposed_improves_with_sensors(self, tiny_data):
+        result = run_fig4(tiny_data, sensor_counts=(1, 4))
+        assert (
+            result.proposed[1].total <= result.proposed[0].total + 0.05
+        )
+
+    def test_render(self, tiny_data):
+        result = run_fig4(tiny_data, sensor_counts=(1, 2))
+        text = render_fig4(result)
+        assert "Fig. 4" in text
+
+
+class TestAblations:
+    def test_placement_comparison(self, tiny_data):
+        result = ablations.run_placement_comparison(tiny_data, sensors_per_core=1)
+        assert "group lasso (proposed)" in result.errors
+        assert len(result.errors) == 6
+        for err in result.errors.values():
+            assert err >= 0
+        text = ablations.render_placement_comparison(result)
+        assert "Ablation" in text
+
+    def test_gl_bias(self, tiny_data):
+        result = ablations.run_gl_bias_ablation(tiny_data, budget=0.5)
+        # The Section 2.3 claim must hold: biased GL predictions worse.
+        assert result.gl_error > result.ols_error
+        assert "bias factor" in ablations.render_gl_bias(result)
+
+    def test_grouping(self, tiny_data):
+        result = ablations.run_grouping_ablation(tiny_data)
+        assert result.gl_sensors >= 1
+        assert result.lasso_sensors >= 1
+        # Plain lasso scatters nonzeros over at least as many sensors.
+        assert result.lasso_sensors >= result.gl_sensors
+        assert "plain lasso" in ablations.render_grouping(result)

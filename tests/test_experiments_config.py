@@ -1,0 +1,82 @@
+"""Tests for repro.experiments.config."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.config import (
+    FAST_SETUP,
+    PAPER_SETUP,
+    ChipConfig,
+    DataConfig,
+    ExperimentSetup,
+)
+
+
+class TestChipConfig:
+    def test_paper_defaults(self):
+        chip = ChipConfig()
+        assert chip.n_cores == 8
+        assert chip.vdd == 1.0
+        assert chip.emergency_threshold == pytest.approx(0.85)
+
+    def test_rejects_bad_template(self):
+        with pytest.raises(ValueError):
+            ChipConfig(template="arm")
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            ChipConfig(emergency_fraction=1.0)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ChipConfig().vdd = 2.0
+
+
+class TestDataConfig:
+    def test_paper_scale(self):
+        data = DataConfig()
+        assert len(data.benchmarks) == 19
+        assert data.n_samples == 10000
+
+    def test_maps_per_benchmark(self):
+        data = DataConfig(steps_per_benchmark=101, record_every=2)
+        assert data.maps_per_benchmark == 51
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataConfig(benchmarks=())
+        with pytest.raises(ValueError):
+            DataConfig(steps_per_benchmark=0)
+        with pytest.raises(ValueError):
+            DataConfig(record_every=0)
+        with pytest.raises(ValueError):
+            DataConfig(n_samples=0)
+        with pytest.raises(ValueError):
+            DataConfig(core_coupling=2.0)
+        with pytest.raises(ValueError):
+            DataConfig(gating_scope="chip")
+        with pytest.raises(ValueError):
+            DataConfig(burst_boost=1.5)
+        with pytest.raises(ValueError):
+            DataConfig(phase_concentration=0.0)
+
+
+class TestExperimentSetup:
+    def test_profiles_distinct(self):
+        assert PAPER_SETUP.name == "paper"
+        assert FAST_SETUP.name == "fast"
+        assert FAST_SETUP.chip.n_cores < PAPER_SETUP.chip.n_cores
+
+    def test_train_eval_seeds_differ(self):
+        assert PAPER_SETUP.train.seed != PAPER_SETUP.eval.seed
+        assert FAST_SETUP.train.seed != FAST_SETUP.eval.seed
+
+    def test_cache_key_stable_and_sensitive(self):
+        key1 = PAPER_SETUP.cache_key()
+        key2 = PAPER_SETUP.cache_key()
+        assert key1 == key2
+        modified = ExperimentSetup(
+            chip=dataclasses.replace(PAPER_SETUP.chip, vdd=0.9)
+        )
+        assert modified.cache_key() != key1

@@ -1,0 +1,77 @@
+"""Tests for the paper-extension features and experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.data_generation import build_dataset, generate_maps
+from repro.experiments.extensions import (
+    render_fa_sensor,
+    render_multi_node,
+    render_pad_sensitivity,
+    run_fa_sensor_extension,
+    run_multi_node_extension,
+    run_pad_sensitivity,
+)
+from tests.conftest import TINY_SETUP
+
+
+@pytest.fixture(scope="module")
+def tiny_maps(tiny_data):
+    return generate_maps(tiny_data.chip, TINY_SETUP.eval)
+
+
+class TestMultiNodeDataset:
+    def test_k_scales_with_nodes_per_block(self, tiny_data, tiny_maps):
+        ds1 = build_dataset(tiny_data.chip, tiny_maps, nodes_per_block=1)
+        ds2 = build_dataset(tiny_data.chip, tiny_maps, nodes_per_block=2)
+        assert ds2.n_blocks == 2 * ds1.n_blocks
+        assert any("#1" in name for name in ds2.block_names)
+
+    def test_first_representative_is_critical_node(self, tiny_data, tiny_maps):
+        ds1 = build_dataset(tiny_data.chip, tiny_maps, nodes_per_block=1)
+        ds2 = build_dataset(tiny_data.chip, tiny_maps, nodes_per_block=2)
+        rank0 = [n for n, name in zip(ds2.critical_nodes, ds2.block_names) if name.endswith("#0")]
+        assert np.array_equal(np.asarray(rank0), ds1.critical_nodes)
+
+    def test_rejects_zero(self, tiny_data, tiny_maps):
+        with pytest.raises(ValueError):
+            build_dataset(tiny_data.chip, tiny_maps, nodes_per_block=0)
+
+
+class TestFACandidates:
+    def test_pool_grows(self, tiny_data, tiny_maps):
+        ba = build_dataset(tiny_data.chip, tiny_maps)
+        fa = build_dataset(tiny_data.chip, tiny_maps, include_fa_candidates=True)
+        assert fa.n_candidates > ba.n_candidates
+
+    def test_monitored_nodes_excluded_from_pool(self, tiny_data, tiny_maps):
+        fa = build_dataset(tiny_data.chip, tiny_maps, include_fa_candidates=True)
+        overlap = set(fa.candidate_nodes.tolist()) & set(
+            fa.critical_nodes.tolist()
+        )
+        assert overlap == set()
+
+
+class TestExtensionExperiments:
+    def test_fa_sensor_extension(self):
+        result = run_fa_sensor_extension(TINY_SETUP, sensors_per_core=2)
+        assert result.fa_candidates > result.ba_candidates
+        assert result.ba_only_error > 0
+        assert result.with_fa_error > 0
+        text = render_fa_sensor(result)
+        assert "FA sensor sites" in text
+
+    def test_multi_node_extension(self):
+        result = run_multi_node_extension(TINY_SETUP, nodes_per_block=(1, 2))
+        assert result.k_values[1] == 2 * result.k_values[0]
+        assert all(e > 0 for e in result.errors)
+        assert "nodes/block" in render_multi_node(result)
+
+    def test_pad_sensitivity(self):
+        result = run_pad_sensitivity(
+            TINY_SETUP, inductances=(10e-12, 150e-12)
+        )
+        assert len(result.prevalence) == 2
+        # Larger inductance means deeper first droop.
+        assert result.worst_droop[1] <= result.worst_droop[0] + 1e-6
+        assert "inductance" in render_pad_sensitivity(result)

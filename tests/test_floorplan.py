@@ -1,0 +1,100 @@
+"""Tests for repro.floorplan.floorplan."""
+
+import pytest
+
+from repro.floorplan.blocks import FunctionBlock, UnitKind
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.geometry import Point, Rect
+
+
+def block(name, x, y, w=1.0, h=1.0, core=0, unit=UnitKind.EXECUTION):
+    return FunctionBlock(name=name, unit=unit, rect=Rect(x, y, w, h), core_index=core)
+
+
+def simple_floorplan():
+    return Floorplan(
+        chip=Rect(0, 0, 10, 5),
+        blocks=[
+            block("a", 1, 1),
+            block("b", 3, 1, unit=UnitKind.L1_CACHE),
+            block("u", 8, 3, core=-1, unit=UnitKind.UNCORE),
+        ],
+        core_rects=[Rect(0.5, 0.5, 4.5, 2.5)],
+        name="t",
+    )
+
+
+class TestValidation:
+    def test_accepts_valid(self):
+        fp = simple_floorplan()
+        assert fp.n_blocks == 3
+        assert fp.n_cores == 1
+
+    def test_rejects_nonzero_origin(self):
+        with pytest.raises(ValueError, match="origin"):
+            Floorplan(chip=Rect(1, 0, 5, 5), blocks=[])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Floorplan(
+                chip=Rect(0, 0, 10, 10),
+                blocks=[block("a", 0, 0), block("a", 3, 3)],
+            )
+
+    def test_rejects_block_outside_chip(self):
+        with pytest.raises(ValueError, match="outside"):
+            Floorplan(chip=Rect(0, 0, 2, 2), blocks=[block("a", 1.5, 1.5)])
+
+    def test_rejects_overlapping_blocks(self):
+        with pytest.raises(ValueError, match="overlap"):
+            Floorplan(
+                chip=Rect(0, 0, 10, 10),
+                blocks=[block("a", 1, 1), block("b", 1.5, 1.5)],
+            )
+
+
+class TestLookup:
+    def test_block_by_name(self):
+        assert simple_floorplan().block("a").name == "a"
+        with pytest.raises(KeyError):
+            simple_floorplan().block("nope")
+
+    def test_block_at_point(self):
+        fp = simple_floorplan()
+        assert fp.block_at(Point(1.5, 1.5)).name == "a"
+        assert fp.block_at(Point(0.1, 0.1)) is None
+
+    def test_fa_ba_partition(self):
+        fp = simple_floorplan()
+        assert fp.in_function_area(Point(1.5, 1.5))
+        assert fp.in_blank_area(Point(0.1, 0.1))
+        assert not fp.in_blank_area(Point(1.5, 1.5))
+
+    def test_off_chip_is_not_ba(self):
+        assert not simple_floorplan().in_blank_area(Point(50, 50))
+
+    def test_core_of_point(self):
+        fp = simple_floorplan()
+        assert fp.core_of_point(Point(1, 1)) == 0
+        assert fp.core_of_point(Point(9, 4)) == -1
+
+
+class TestAggregates:
+    def test_areas(self):
+        fp = simple_floorplan()
+        assert fp.function_area == pytest.approx(3.0)
+        assert fp.blank_area == pytest.approx(50.0 - 3.0)
+
+    def test_blocks_in_core(self):
+        fp = simple_floorplan()
+        assert {b.name for b in fp.blocks_in_core(0)} == {"a", "b"}
+        assert {b.name for b in fp.blocks_in_core(-1)} == {"u"}
+
+    def test_blocks_of_unit(self):
+        fp = simple_floorplan()
+        assert [b.name for b in fp.blocks_of_unit(UnitKind.L1_CACHE)] == ["b"]
+
+    def test_summary_mentions_key_facts(self):
+        text = simple_floorplan().summary()
+        assert "1 cores" in text
+        assert "3 blocks" in text

@@ -1,0 +1,36 @@
+"""Tests for the workload-generalization study."""
+
+import pytest
+
+from repro.experiments.generalization import (
+    render_generalization,
+    run_generalization_study,
+)
+
+
+class TestGeneralizationStudy:
+    def test_split_and_scores(self, tiny_data):
+        result = run_generalization_study(tiny_data, n_train_benchmarks=1)
+        assert len(result.train_benchmarks) == 1
+        assert len(result.unseen_benchmarks) == 1
+        assert result.seen_error > 0
+        assert result.unseen_error > 0
+        assert result.n_sensors >= 1
+
+    def test_unseen_error_reasonable(self, tiny_data):
+        # The linear grid response is workload-independent, so the
+        # model must transfer: unseen error within a small factor.
+        result = run_generalization_study(tiny_data, n_train_benchmarks=1)
+        assert result.unseen_error < 5 * result.seen_error
+
+    def test_render(self, tiny_data):
+        result = run_generalization_study(tiny_data, n_train_benchmarks=1)
+        text = render_generalization(result)
+        assert "Generalization" in text
+        assert "unseen/seen" in text
+
+    def test_validation(self, tiny_data):
+        with pytest.raises(ValueError):
+            run_generalization_study(tiny_data, n_train_benchmarks=0)
+        with pytest.raises(ValueError):
+            run_generalization_study(tiny_data, n_train_benchmarks=99)

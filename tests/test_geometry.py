@@ -1,0 +1,114 @@
+"""Tests for repro.floorplan.geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.floorplan.geometry import Point, Rect
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_translate(self):
+        p = Point(1, 2).translated(0.5, -0.5)
+        assert (p.x, p.y) == (1.5, 1.5)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1
+
+
+class TestRect:
+    def test_basic_properties(self):
+        r = Rect(1, 2, 3, 4)
+        assert r.x2 == 4
+        assert r.y2 == 6
+        assert r.area == 12
+        assert (r.center.x, r.center.y) == (2.5, 4.0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, -1, 1)
+
+    def test_contains_half_open(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains(Point(0, 0))  # lower-left inclusive
+        assert not r.contains(Point(1, 0))  # right edge exclusive
+        assert not r.contains(Point(0, 1))  # top edge exclusive
+        assert r.contains(Point(0.999, 0.999))
+
+    def test_contains_tolerance(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains(Point(-0.005, 0.5), tol=0.01)
+
+    def test_overlaps(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.overlaps(Rect(1, 1, 2, 2))
+        assert not a.overlaps(Rect(2, 0, 1, 1))  # share an edge only
+        assert not a.overlaps(Rect(5, 5, 1, 1))
+
+    def test_translated(self):
+        r = Rect(0, 0, 1, 1).translated(2, 3)
+        assert (r.x, r.y) == (2, 3)
+
+    def test_shrunk(self):
+        r = Rect(0, 0, 2, 2).shrunk(0.5)
+        assert (r.x, r.y, r.width, r.height) == (0.5, 0.5, 1.0, 1.0)
+
+    def test_shrunk_too_much_raises(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).shrunk(0.6)
+
+    def test_grid_partition_tiles_cover_area(self):
+        r = Rect(0, 0, 3, 2)
+        tiles = r.grid_partition(3, 2)
+        assert len(tiles) == 6
+        assert sum(t.area for t in tiles) == pytest.approx(r.area)
+
+    def test_grid_partition_disjoint(self):
+        tiles = Rect(0, 0, 2, 2).grid_partition(2, 2)
+        for i, a in enumerate(tiles):
+            for b in tiles[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_grid_partition_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).grid_partition(0, 2)
+
+    def test_corners(self):
+        ll, lr, ur, ul = Rect(0, 0, 1, 2).corners()
+        assert (ll.x, ll.y) == (0, 0)
+        assert (ur.x, ur.y) == (1, 2)
+
+
+class TestRectProperties:
+    @given(
+        x=st.floats(-10, 10),
+        y=st.floats(-10, 10),
+        w=st.floats(0.1, 10),
+        h=st.floats(0.1, 10),
+        fx=st.floats(0, 0.999),
+        fy=st.floats(0, 0.999),
+    )
+    def test_interior_points_contained(self, x, y, w, h, fx, fy):
+        r = Rect(x, y, w, h)
+        p = Point(x + fx * w, y + fy * h)
+        assert r.contains(p, tol=1e-9)
+
+    @given(
+        w=st.floats(0.5, 10),
+        h=st.floats(0.5, 10),
+        n=st.integers(1, 6),
+        m=st.integers(1, 6),
+    )
+    def test_partition_area_conserved(self, w, h, n, m):
+        tiles = Rect(0, 0, w, h).grid_partition(n, m)
+        assert sum(t.area for t in tiles) == pytest.approx(w * h, rel=1e-9)
+
+    @given(st.floats(-5, 5), st.floats(-5, 5), st.floats(-5, 5), st.floats(-5, 5))
+    def test_overlap_symmetric(self, ax, ay, bx, by):
+        a = Rect(ax, ay, 1.5, 1.5)
+        b = Rect(bx, by, 1.5, 1.5)
+        assert a.overlaps(b) == b.overlaps(a)

@@ -1,0 +1,177 @@
+"""Tests for repro.core.group_lasso — the paper's Eq. (12) solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.group_lasso import (
+    GroupLassoResult,
+    group_lasso_constrained,
+    group_lasso_penalized,
+)
+
+
+def sparse_problem(seed=0, n=400, m=30, k=5, active=(3, 11, 27), noise=0.05):
+    rng = np.random.default_rng(seed)
+    Z = rng.standard_normal((n, m))
+    B_true = np.zeros((k, m))
+    B_true[:, list(active)] = 2.0 * rng.standard_normal((k, len(active)))
+    G = Z @ B_true.T + noise * rng.standard_normal((n, k))
+    return Z, G, B_true
+
+
+class TestPenalized:
+    def test_recovers_support(self):
+        Z, G, _ = sparse_problem()
+        result = group_lasso_penalized(Z, G, mu=50.0)
+        assert result.active_groups().tolist() == [3, 11, 27]
+
+    def test_mu_zero_equals_ols(self):
+        Z, G, _ = sparse_problem(n=200, m=10, active=(3, 7))
+        result = group_lasso_penalized(Z, G, mu=0.0)
+        ols = np.linalg.lstsq(Z, G, rcond=None)[0].T
+        assert np.allclose(result.coef, ols, atol=1e-5)
+
+    def test_huge_mu_gives_all_zero(self):
+        Z, G, _ = sparse_problem()
+        A = Z.T @ G
+        mu = 2.0 * float(np.max(np.linalg.norm(A, axis=1)))
+        result = group_lasso_penalized(Z, G, mu=mu)
+        assert np.all(result.coef == 0.0)
+
+    def test_methods_agree(self):
+        Z, G, _ = sparse_problem(seed=1)
+        fista = group_lasso_penalized(Z, G, mu=40.0, method="fista")
+        bcd = group_lasso_penalized(Z, G, mu=40.0, method="bcd")
+        assert np.allclose(fista.coef, bcd.coef, atol=1e-5)
+        assert set(fista.active_groups(1e-4).tolist()) == set(
+            bcd.active_groups(1e-4).tolist()
+        )
+
+    def test_objective_decreases_with_looser_penalty(self):
+        # Fit term at smaller mu must be at least as good.
+        Z, G, _ = sparse_problem()
+        tight = group_lasso_penalized(Z, G, mu=100.0)
+        loose = group_lasso_penalized(Z, G, mu=10.0)
+        def fit_term(result):
+            return float(np.linalg.norm(G - Z @ result.coef.T) ** 2)
+        assert fit_term(loose) <= fit_term(tight) + 1e-9
+
+    def test_warm_start_converges_same(self):
+        Z, G, _ = sparse_problem(seed=2)
+        cold = group_lasso_penalized(Z, G, mu=30.0)
+        warm = group_lasso_penalized(
+            Z, G, mu=30.0, warm_start=np.ones_like(cold.coef)
+        )
+        assert np.allclose(cold.coef, warm.coef, atol=1e-4)
+
+    def test_warm_start_shape_check(self):
+        Z, G, _ = sparse_problem()
+        with pytest.raises(ValueError):
+            group_lasso_penalized(Z, G, mu=1.0, warm_start=np.ones((2, 2)))
+
+    def test_rejects_bad_args(self):
+        Z, G, _ = sparse_problem()
+        with pytest.raises(ValueError):
+            group_lasso_penalized(Z, G, mu=-1.0)
+        with pytest.raises(ValueError):
+            group_lasso_penalized(Z, G, mu=1.0, max_iter=0)
+        with pytest.raises(ValueError):
+            group_lasso_penalized(Z, G, mu=1.0, tol=0.0)
+        with pytest.raises(ValueError):
+            group_lasso_penalized(Z, G, mu=1.0, method="newton")
+
+    def test_constant_feature_never_selected(self):
+        Z, G, _ = sparse_problem(n=100, m=8, active=(1,))
+        Z[:, 5] = 0.0  # dead feature
+        result = group_lasso_penalized(Z, G, mu=5.0)
+        assert 5 not in result.active_groups().tolist()
+
+    def test_kkt_optimality_of_solution(self):
+        # At the optimum: active groups satisfy grad_m = -mu*B_m/||B_m||,
+        # inactive groups satisfy ||grad_m|| <= mu.
+        Z, G, _ = sparse_problem(seed=3)
+        mu = 40.0
+        result = group_lasso_penalized(Z, G, mu=mu, tol=1e-10)
+        B = result.coef
+        grad = B @ (Z.T @ Z) - (Z.T @ G).T  # (K, M)
+        norms = np.linalg.norm(B, axis=0)
+        for m in range(B.shape[1]):
+            g_norm = np.linalg.norm(grad[:, m])
+            if norms[m] > 1e-8:
+                direction = -mu * B[:, m] / norms[m]
+                assert np.allclose(grad[:, m], direction, atol=1e-3)
+            else:
+                assert g_norm <= mu * (1 + 1e-6)
+
+
+class TestConstrained:
+    def test_budget_binding(self):
+        Z, G, _ = sparse_problem()
+        result = group_lasso_constrained(Z, G, budget=5.0)
+        assert result.norm_sum() == pytest.approx(5.0, rel=0.05)
+        assert result.budget == 5.0
+
+    def test_slack_budget_returns_ols(self):
+        Z, G, _ = sparse_problem(n=200, m=10, active=(2,))
+        result = group_lasso_constrained(Z, G, budget=1e9)
+        ols = np.linalg.lstsq(Z, G, rcond=None)[0].T
+        assert np.allclose(result.coef, ols, atol=1e-6)
+        assert result.penalty == 0.0
+
+    def test_monotone_selection_in_budget(self):
+        Z, G, _ = sparse_problem(seed=4)
+        small = group_lasso_constrained(Z, G, budget=1.0)
+        large = group_lasso_constrained(Z, G, budget=8.0)
+        assert small.active_groups(1e-3).size <= large.active_groups(1e-3).size
+
+    def test_correct_support_at_moderate_budget(self):
+        Z, G, _ = sparse_problem(seed=5)
+        result = group_lasso_constrained(Z, G, budget=4.0)
+        assert set(result.active_groups(1e-3).tolist()) <= {3, 11, 27}
+        assert result.active_groups(1e-3).size >= 1
+
+    def test_rejects_bad_budget(self):
+        Z, G, _ = sparse_problem()
+        with pytest.raises(ValueError):
+            group_lasso_constrained(Z, G, budget=0.0)
+
+    def test_zero_response_all_zero(self):
+        rng = np.random.default_rng(0)
+        Z = rng.standard_normal((50, 5))
+        G = np.zeros((50, 2))
+        result = group_lasso_constrained(Z, G, budget=1.0)
+        assert np.allclose(result.coef, 0.0, atol=1e-9)
+
+
+class TestResultObject:
+    def test_group_norms_and_sum(self):
+        coef = np.array([[3.0, 0.0], [4.0, 0.0]])
+        result = GroupLassoResult(coef=coef, penalty=1.0)
+        assert np.allclose(result.group_norms(), [5.0, 0.0])
+        assert result.norm_sum() == pytest.approx(5.0)
+
+    def test_active_groups_threshold(self):
+        coef = np.array([[1e-4, 1.0]])
+        result = GroupLassoResult(coef=coef, penalty=1.0)
+        assert result.active_groups(1e-3).tolist() == [1]
+        with pytest.raises(ValueError):
+            result.active_groups(-1.0)
+
+
+class TestSolverProperties:
+    @given(
+        seed=st.integers(0, 30),
+        mu_frac=st.floats(0.05, 0.9),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_shrinkage_property(self, seed, mu_frac):
+        # Group norms at larger mu are dominated by the norm sum at
+        # smaller mu (total shrinkage monotonicity).
+        Z, G, _ = sparse_problem(seed=seed, n=150, m=12, k=3, active=(1, 7))
+        A = Z.T @ G
+        mu_max = float(np.max(np.linalg.norm(A, axis=1)))
+        lo = group_lasso_penalized(Z, G, mu=mu_frac * mu_max * 0.5)
+        hi = group_lasso_penalized(Z, G, mu=mu_frac * mu_max)
+        assert hi.norm_sum() <= lo.norm_sum() + 1e-6

@@ -1,0 +1,75 @@
+"""Tests for repro.utils.heatmap."""
+
+import numpy as np
+import pytest
+
+from repro.utils.heatmap import voltage_heatmap
+
+
+def grid_coords(nx=10, ny=6, pitch=0.5):
+    return np.array(
+        [[x * pitch, y * pitch] for y in range(ny) for x in range(nx)],
+        dtype=float,
+    )
+
+
+class TestVoltageHeatmap:
+    def test_basic_render(self):
+        coords = grid_coords()
+        v = np.full(coords.shape[0], 0.9)
+        text = voltage_heatmap(coords, v, width=20, height=6, title="map")
+        lines = text.splitlines()
+        assert lines[0] == "map"
+        assert len(lines) == 2 + 6
+
+    def test_droop_renders_dark(self):
+        coords = grid_coords()
+        v = np.full(coords.shape[0], 0.95)
+        v[0] = 0.80  # deep droop at lower-left
+        text = voltage_heatmap(coords, v, width=20, height=6)
+        # The darkest ramp character must appear (the droop cell).
+        assert "@" in text
+
+    def test_uniform_map_is_blank_cells(self):
+        coords = grid_coords()
+        v = np.full(coords.shape[0], 0.9)
+        text = voltage_heatmap(coords, v, width=10, height=4)
+        body = "\n".join(text.splitlines()[2:])
+        # All populated cells map to the top of the ramp (blank).
+        assert "@" not in body
+
+    def test_min_aggregation_not_average(self):
+        # Two nodes share one cell: the droop must win.
+        coords = np.array([[0.0, 0.0], [0.01, 0.0], [5.0, 5.0]])
+        v = np.array([0.95, 0.80, 0.95])
+        text = voltage_heatmap(coords, v, width=6, height=3)
+        assert "@" in text
+
+    def test_marks_overlay(self):
+        coords = grid_coords()
+        v = np.full(coords.shape[0], 0.9)
+        text = voltage_heatmap(
+            coords, v, width=20, height=6, marks=[(0.0, 0.0, "S")]
+        )
+        assert "S" in text
+
+    def test_explicit_scale(self):
+        coords = grid_coords()
+        v = np.full(coords.shape[0], 0.9)
+        text = voltage_heatmap(coords, v, v_min=0.85, v_max=1.0)
+        assert "0.850" in text
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            voltage_heatmap(np.ones((3, 3)), np.ones(3))
+        with pytest.raises(ValueError):
+            voltage_heatmap(np.ones((3, 2)), np.ones(4))
+
+    def test_on_real_map(self, tiny_data):
+        coords = tiny_data.chip.grid.coords
+        v = np.asarray(tiny_data.train.X[0], dtype=float)
+        # Render only the candidate nodes' voltages at their positions.
+        text = voltage_heatmap(
+            coords[tiny_data.train.candidate_nodes], v, width=40, height=10
+        )
+        assert len(text.splitlines()) == 11  # scale line + 10 rows

@@ -1,0 +1,73 @@
+"""Tests for repro.powergrid.ir_analysis (DC solves)."""
+
+import numpy as np
+import pytest
+
+from repro.powergrid.grid import PowerGrid
+from repro.powergrid.ir_analysis import ir_drop_report, solve_dc
+from repro.powergrid.pads import Pad
+
+
+def single_node_grid(r_pad=0.1):
+    """Two nodes: pad node and load node through a 1-ohm branch."""
+    return PowerGrid(
+        coords=np.array([[0.0, 0.0], [1.0, 0.0]]),
+        edge_nodes=np.array([[0, 1]]),
+        edge_conductance=np.array([1.0]),
+        node_cap=np.zeros(2),
+        pads=[Pad(node=0, resistance=r_pad, inductance=0.0)],
+        vdd=1.0,
+    )
+
+
+class TestSolveDC:
+    def test_no_load_gives_vdd_everywhere(self):
+        grid = single_node_grid()
+        v, i_pad = solve_dc(grid, np.zeros(2))
+        assert np.allclose(v, 1.0)
+        assert np.allclose(i_pad, 0.0)
+
+    def test_ohms_law_hand_computed(self):
+        # 1 A drawn at node 1: path resistance 0.1 (pad) + 1.0 (branch).
+        grid = single_node_grid()
+        v, i_pad = solve_dc(grid, np.array([0.0, 1.0]))
+        assert v[0] == pytest.approx(1.0 - 0.1)
+        assert v[1] == pytest.approx(1.0 - 1.1)
+        assert i_pad[0] == pytest.approx(1.0)
+
+    def test_current_conservation(self):
+        grid = PowerGrid.regular_mesh(3.0, 2.0, pitch=0.5, pad_pitch=1.0)
+        load = np.random.default_rng(0).uniform(0, 0.1, grid.n_nodes)
+        _, i_pad = solve_dc(grid, load)
+        assert i_pad.sum() == pytest.approx(load.sum(), rel=1e-9)
+
+    def test_voltages_below_vdd_under_load(self):
+        grid = PowerGrid.regular_mesh(3.0, 2.0, pitch=0.5, pad_pitch=1.0)
+        load = np.full(grid.n_nodes, 0.05)
+        v, _ = solve_dc(grid, load)
+        assert np.all(v < grid.vdd)
+
+    def test_superposition(self):
+        # DC system is linear: v(a+b) - vdd = (v(a)-vdd) + (v(b)-vdd).
+        grid = PowerGrid.regular_mesh(2.0, 2.0, pitch=0.5, pad_pitch=1.0)
+        rng = np.random.default_rng(1)
+        a = rng.uniform(0, 0.1, grid.n_nodes)
+        b = rng.uniform(0, 0.1, grid.n_nodes)
+        va, _ = solve_dc(grid, a)
+        vb, _ = solve_dc(grid, b)
+        vab, _ = solve_dc(grid, a + b)
+        assert np.allclose(vab - grid.vdd, (va - grid.vdd) + (vb - grid.vdd))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            solve_dc(single_node_grid(), np.zeros(5))
+
+
+class TestIRReport:
+    def test_report_fields(self):
+        grid = single_node_grid()
+        report = ir_drop_report(grid, np.array([0.0, 1.0]))
+        assert report.worst_node == 1
+        assert report.worst_drop == pytest.approx(1.1)
+        assert report.total_current == pytest.approx(1.0)
+        assert report.mean_drop == pytest.approx((0.1 + 1.1) / 2)

@@ -1,0 +1,62 @@
+"""Tests for repro.core.lambda_sweep."""
+
+import numpy as np
+import pytest
+
+from repro.core.lambda_sweep import fit_for_sensor_count, sweep_lambda
+from repro.core.pipeline import PipelineConfig
+from tests.conftest import make_synthetic_dataset
+
+
+class TestSweepLambda:
+    def test_point_per_budget(self):
+        ds = make_synthetic_dataset()
+        points = sweep_lambda(ds, budgets=[0.5, 2.0, 6.0], rng=0)
+        assert [p.budget for p in points] == [0.5, 2.0, 6.0]
+
+    def test_sensor_count_non_decreasing(self):
+        ds = make_synthetic_dataset()
+        points = sweep_lambda(ds, budgets=[0.5, 1.0, 2.0, 4.0], rng=0)
+        counts = [p.n_sensors_total for p in points]
+        assert counts == sorted(counts)
+
+    def test_error_broadly_improves(self):
+        ds = make_synthetic_dataset(noise=0.0005, seed=13)
+        points = sweep_lambda(ds, budgets=[0.5, 6.0], rng=1)
+        assert points[-1].relative_error <= points[0].relative_error + 1e-6
+
+    def test_same_split_for_all_budgets(self):
+        # Errors must be comparable: each point carries its own model
+        # but was evaluated on the same held-out rows (deterministic rng).
+        ds = make_synthetic_dataset()
+        a = sweep_lambda(ds, budgets=[1.0], rng=42)[0]
+        b = sweep_lambda(ds, budgets=[1.0], rng=42)[0]
+        assert a.relative_error == pytest.approx(b.relative_error)
+
+    def test_rejects_empty_budgets(self):
+        with pytest.raises(ValueError):
+            sweep_lambda(make_synthetic_dataset(), budgets=[])
+
+    def test_respects_base_config(self):
+        ds = make_synthetic_dataset()
+        base = PipelineConfig(budget=1.0, per_core=False)
+        points = sweep_lambda(ds, budgets=[2.0], base_config=base, rng=0)
+        assert len(points[0].model.scopes) == 1
+
+
+class TestFitForSensorCount:
+    def test_hits_small_target(self):
+        ds = make_synthetic_dataset()
+        model = fit_for_sensor_count(ds, target_per_core=2.0)
+        per_core = model.n_sensors / len(ds.core_ids)
+        assert abs(per_core - 2.0) <= 1.0
+
+    def test_larger_target_more_sensors(self):
+        ds = make_synthetic_dataset()
+        small = fit_for_sensor_count(ds, target_per_core=1.0)
+        large = fit_for_sensor_count(ds, target_per_core=6.0)
+        assert large.n_sensors > small.n_sensors
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            fit_for_sensor_count(make_synthetic_dataset(), target_per_core=0.0)

@@ -1,0 +1,96 @@
+"""Tests for repro.voltage.maps."""
+
+import numpy as np
+import pytest
+
+from repro.voltage.maps import VoltageMapSet
+
+
+def make_maps(n=6, nodes=4, names=("a", "b")):
+    rng = np.random.default_rng(0)
+    return VoltageMapSet(
+        voltages=0.9 + 0.05 * rng.random((n, nodes)),
+        benchmark_of_sample=np.arange(n) % len(names),
+        benchmark_names=list(names),
+        times=np.arange(n) * 1e-10,
+    )
+
+
+class TestConstruction:
+    def test_valid(self):
+        maps = make_maps()
+        assert maps.n_samples == 6
+        assert maps.n_nodes == 4
+
+    def test_rejects_bad_label_length(self):
+        with pytest.raises(ValueError):
+            VoltageMapSet(
+                voltages=np.ones((3, 2)),
+                benchmark_of_sample=np.zeros(5, dtype=int),
+                benchmark_names=["a"],
+            )
+
+    def test_rejects_out_of_range_label(self):
+        with pytest.raises(ValueError):
+            VoltageMapSet(
+                voltages=np.ones((2, 2)),
+                benchmark_of_sample=np.array([0, 3]),
+                benchmark_names=["a"],
+            )
+
+    def test_rejects_bad_times(self):
+        with pytest.raises(ValueError):
+            VoltageMapSet(
+                voltages=np.ones((2, 2)),
+                benchmark_of_sample=np.zeros(2, dtype=int),
+                benchmark_names=["a"],
+                times=np.zeros(5),
+            )
+
+
+class TestQueries:
+    def test_samples_of_benchmark(self):
+        maps = make_maps()
+        rows = maps.samples_of_benchmark("a")
+        assert np.array_equal(rows, [0, 2, 4])
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            make_maps().samples_of_benchmark("zzz")
+
+    def test_subset(self):
+        maps = make_maps()
+        sub = maps.subset([1, 3])
+        assert sub.n_samples == 2
+        assert np.array_equal(sub.voltages, maps.voltages[[1, 3]])
+        assert np.array_equal(sub.benchmark_of_sample, [1, 1])
+
+    def test_worst_voltage_per_node(self):
+        maps = make_maps()
+        assert np.allclose(
+            maps.worst_voltage_per_node(), maps.voltages.min(axis=0)
+        )
+
+    def test_summary(self):
+        assert "6 maps" in make_maps().summary()
+
+
+class TestConcatenate:
+    def test_merges_names(self):
+        a = make_maps(names=("a", "b"))
+        b = make_maps(names=("b", "c"))
+        merged = VoltageMapSet.concatenate([a, b])
+        assert merged.benchmark_names == ["a", "b", "c"]
+        assert merged.n_samples == 12
+        # Labels remapped: b's "b" samples point at merged index 1.
+        assert np.array_equal(
+            merged.benchmark_of_sample[6:], np.where(b.benchmark_of_sample == 0, 1, 2)
+        )
+
+    def test_rejects_mismatched_nodes(self):
+        with pytest.raises(ValueError):
+            VoltageMapSet.concatenate([make_maps(nodes=4), make_maps(nodes=5)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            VoltageMapSet.concatenate([])

@@ -1,0 +1,135 @@
+"""Tests for repro.voltage.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.voltage.metrics import (
+    blockwise_error_rates,
+    detection_error_rates,
+    max_absolute_error,
+    mean_relative_error,
+    rms_relative_error,
+)
+
+
+class TestRelativeErrors:
+    def test_exact_prediction_zero_error(self):
+        truth = np.full((4, 3), 0.9)
+        assert mean_relative_error(truth, truth) == 0.0
+        assert rms_relative_error(truth, truth) == 0.0
+
+    def test_hand_computed_mean(self):
+        truth = np.array([[1.0, 2.0]])
+        pred = np.array([[1.1, 1.8]])
+        expected = (0.1 / 1.0 + 0.2 / 2.0) / 2
+        assert mean_relative_error(pred, truth) == pytest.approx(expected)
+
+    def test_hand_computed_rms(self):
+        truth = np.array([[3.0, 4.0]])
+        pred = np.array([[3.0, 5.0]])
+        assert rms_relative_error(pred, truth) == pytest.approx(1.0 / 5.0)
+
+    def test_max_abs(self):
+        truth = np.array([[1.0, 1.0]])
+        pred = np.array([[1.02, 0.95]])
+        assert max_absolute_error(pred, truth) == pytest.approx(0.05)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_relative_error(np.ones((2, 2)), np.ones((2, 3)))
+
+    def test_rejects_zero_truth(self):
+        with pytest.raises(ValueError):
+            mean_relative_error(np.ones((1, 2)), np.zeros((1, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean_relative_error(np.empty((0, 2)), np.empty((0, 2)))
+
+    @given(
+        scale=st.floats(0.5, 2.0),
+        noise=st.floats(0.0, 0.1),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_mean_relative_error_bounds(self, scale, noise, seed):
+        rng = np.random.default_rng(seed)
+        truth = scale * (0.9 + 0.1 * rng.random((10, 5)))
+        pred = truth + noise * rng.standard_normal((10, 5))
+        err = mean_relative_error(pred, truth)
+        assert err >= 0.0
+        # |pred-truth| <= ~4.9 sigma in this sample size regime is not
+        # guaranteed, but err must be below max|delta|/min|truth|.
+        bound = np.abs(pred - truth).max() / np.abs(truth).min()
+        assert err <= bound + 1e-12
+
+
+class TestDetectionErrorRates:
+    def test_perfect_detection(self):
+        truth = np.array([True, False, True, False])
+        rates = detection_error_rates(truth, truth.copy())
+        assert rates.miss == 0.0
+        assert rates.wrong_alarm == 0.0
+        assert rates.total == 0.0
+        assert rates.n_emergencies == 2
+
+    def test_hand_computed(self):
+        truth = np.array([True, True, False, False, False])
+        alarm = np.array([True, False, True, False, False])
+        rates = detection_error_rates(truth, alarm)
+        assert rates.miss == pytest.approx(1 / 2)
+        assert rates.wrong_alarm == pytest.approx(1 / 3)
+        assert rates.total == pytest.approx(2 / 5)
+
+    def test_nan_when_no_emergencies(self):
+        rates = detection_error_rates(
+            np.array([False, False]), np.array([False, True])
+        )
+        assert np.isnan(rates.miss)
+        assert rates.wrong_alarm == pytest.approx(0.5)
+
+    def test_nan_when_all_emergencies(self):
+        rates = detection_error_rates(
+            np.array([True, True]), np.array([False, True])
+        )
+        assert np.isnan(rates.wrong_alarm)
+        assert rates.miss == pytest.approx(0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            detection_error_rates(np.array([]), np.array([]))
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            detection_error_rates(np.array([True]), np.array([True, False]))
+
+    @given(st.integers(1, 200), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_total_is_weighted_combination(self, n, seed):
+        rng = np.random.default_rng(seed)
+        truth = rng.random(n) < 0.3
+        alarm = rng.random(n) < 0.3
+        rates = detection_error_rates(truth, alarm)
+        miss_part = 0.0 if np.isnan(rates.miss) else rates.miss * truth.mean()
+        wrong_part = (
+            0.0
+            if np.isnan(rates.wrong_alarm)
+            else rates.wrong_alarm * (1 - truth.mean())
+        )
+        assert rates.total == pytest.approx(miss_part + wrong_part)
+
+
+class TestBlockwiseRates:
+    def test_flattens_correctly(self):
+        truth = np.array([[True, False], [False, False]])
+        pred = np.array([[True, True], [False, False]])
+        rates = blockwise_error_rates(truth, pred)
+        assert rates.miss == 0.0
+        assert rates.wrong_alarm == pytest.approx(1 / 3)
+        assert rates.n_samples == 4
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            blockwise_error_rates(np.array([True]), np.array([True]))

@@ -1,0 +1,128 @@
+"""Tests for repro.monitor (streaming runtime monitoring)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ols import LinearModel
+from repro.core.pipeline import PipelineConfig, PlacementModel, ScopeModel
+from repro.core.predictor import VoltagePredictor
+from repro.core.selection import SelectionResult
+from repro.core.group_lasso import GroupLassoResult
+from repro.monitor.runtime import VoltageMonitor
+
+
+def identity_model(n_blocks=2):
+    """A placement whose prediction equals its first sensor columns."""
+    coef = np.eye(n_blocks)
+    predictor = VoltagePredictor(
+        model=LinearModel(coef=coef, intercept=np.zeros(n_blocks)),
+        selected=np.arange(n_blocks),
+    )
+    selection = SelectionResult(
+        selected=np.arange(n_blocks),
+        group_norms=np.ones(n_blocks),
+        budget=1.0,
+        threshold=1e-3,
+        gl_result=GroupLassoResult(coef=coef, penalty=0.0),
+    )
+    scope = ScopeModel(
+        core_index=0,
+        candidate_cols=np.arange(n_blocks),
+        block_cols=np.arange(n_blocks),
+        selection=selection,
+        predictor=predictor,
+    )
+    return PlacementModel(
+        scopes=[scope], config=PipelineConfig(budget=1.0), n_blocks=n_blocks
+    )
+
+
+class TestVoltageMonitor:
+    def test_immediate_alarm(self):
+        mon = VoltageMonitor(identity_model(), threshold=0.85)
+        assert not mon.step(np.array([0.9, 0.9]))
+        assert mon.step(np.array([0.84, 0.9]))
+        assert not mon.step(np.array([0.9, 0.9]))
+        stats = mon.finish()
+        assert stats.cycles == 3
+        assert stats.alarm_cycles == 1
+        assert stats.events == 1
+
+    def test_event_log_contents(self):
+        mon = VoltageMonitor(identity_model(), threshold=0.85)
+        mon.run(
+            np.array(
+                [
+                    [0.9, 0.9],
+                    [0.84, 0.9],
+                    [0.80, 0.9],
+                    [0.9, 0.9],
+                    [0.9, 0.82],
+                ]
+            )
+        )
+        stats = mon.finish()
+        assert stats.events == 2
+        first, second = mon.events
+        assert (first.start_cycle, first.end_cycle) == (1, 2)
+        assert first.min_predicted == pytest.approx(0.80)
+        assert first.worst_block == 0
+        assert second.worst_block == 1
+        assert second.duration == 1
+
+    def test_debounce_suppresses_glitches(self):
+        mon = VoltageMonitor(identity_model(), threshold=0.85, debounce=2)
+        flags = mon.run(
+            np.array(
+                [
+                    [0.84, 0.9],  # single-cycle glitch: suppressed
+                    [0.9, 0.9],
+                    [0.84, 0.9],  # two in a row: alarm on 2nd
+                    [0.84, 0.9],
+                    [0.9, 0.9],
+                ]
+            )
+        )
+        assert flags.tolist() == [False, False, False, True, False]
+
+    def test_callback_invoked(self):
+        seen = []
+        mon = VoltageMonitor(
+            identity_model(), threshold=0.85, on_emergency=seen.append
+        )
+        mon.run(np.array([[0.8, 0.9], [0.9, 0.9]]))
+        assert len(seen) == 1
+        assert seen[0].min_predicted == pytest.approx(0.8)
+
+    def test_finish_closes_open_episode(self):
+        mon = VoltageMonitor(identity_model(), threshold=0.85)
+        mon.step(np.array([0.8, 0.9]))
+        stats = mon.finish()
+        assert stats.events == 1
+        assert mon.events[0].end_cycle == 0
+
+    def test_min_predicted_tracked(self):
+        mon = VoltageMonitor(identity_model(), threshold=0.85)
+        mon.run(np.array([[0.9, 0.87], [0.86, 0.91]]))
+        assert mon.finish().min_predicted == pytest.approx(0.86)
+
+    def test_run_shape_check(self):
+        mon = VoltageMonitor(identity_model(), threshold=0.85)
+        with pytest.raises(ValueError):
+            mon.run(np.ones(4))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            VoltageMonitor(identity_model(), threshold=0.0)
+        with pytest.raises(ValueError):
+            VoltageMonitor(identity_model(), threshold=0.85, debounce=0)
+
+    def test_on_real_fitted_model(self, tiny_data):
+        from repro.core import fit_placement
+
+        model = fit_placement(tiny_data.train, PipelineConfig(budget=1.0))
+        mon = VoltageMonitor(model, threshold=0.85)
+        flags = mon.run(tiny_data.eval.X[:50])
+        stats = mon.finish()
+        assert stats.cycles == 50
+        assert stats.alarm_cycles == int(flags.sum())

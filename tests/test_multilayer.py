@@ -1,0 +1,100 @@
+"""Tests for repro.powergrid.multilayer (two-layer grids)."""
+
+import numpy as np
+import pytest
+
+from repro.powergrid.ir_analysis import solve_dc
+from repro.powergrid.multilayer import two_layer_mesh
+from repro.powergrid.transient import TransientSolver
+
+
+def make_two_layer(**kw):
+    defaults = dict(width=4.0, height=3.0, device_pitch=0.25, pad_pitch=1.5)
+    defaults.update(kw)
+    return two_layer_mesh(**defaults)
+
+
+class TestConstruction:
+    def test_layer_partition(self):
+        tl = make_two_layer()
+        all_nodes = set(tl.device_nodes.tolist()) | set(tl.top_nodes.tolist())
+        assert len(all_nodes) == tl.grid.n_nodes
+        assert set(tl.device_nodes.tolist()).isdisjoint(tl.top_nodes.tolist())
+
+    def test_top_nodes_coincide_with_device_grid(self):
+        tl = make_two_layer(top_pitch_factor=4)
+        device = tl.grid.coords[tl.device_nodes]
+        top = tl.grid.coords[tl.top_nodes]
+        # Every top node sits exactly above some device node.
+        for pos in top:
+            d = np.min(np.sum((device - pos) ** 2, axis=1))
+            assert d < 1e-18
+
+    def test_pads_on_top_layer(self):
+        tl = make_two_layer()
+        top_set = set(tl.top_nodes.tolist())
+        for pad in tl.grid.pads:
+            assert pad.node in top_set
+
+    def test_decap_on_device_layer_only(self):
+        tl = make_two_layer()
+        assert np.all(tl.grid.node_cap[tl.device_nodes] > 0)
+        assert np.all(tl.grid.node_cap[tl.top_nodes] == 0)
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            make_two_layer(top_pitch_factor=1)
+
+    def test_rejects_degenerate_top_mesh(self):
+        with pytest.raises(ValueError):
+            two_layer_mesh(1.0, 1.0, device_pitch=0.5, top_pitch_factor=8)
+
+
+class TestElectrical:
+    def test_dc_droop_increases_toward_device_layer(self):
+        tl = make_two_layer()
+        grid = tl.grid
+        load = np.zeros(grid.n_nodes)
+        load[tl.device_nodes] = 10.0 / tl.n_device_nodes
+        v, _ = solve_dc(grid, load)
+        # Current flows pads -> top -> vias -> device, so the device
+        # layer must droop at least as much as the top metal.
+        assert v[tl.device_nodes].min() <= v[tl.top_nodes].min() + 1e-12
+
+    def test_better_top_metal_reduces_droop(self):
+        def min_v(top_r):
+            tl = make_two_layer(top_sheet_resistance=top_r)
+            load = np.zeros(tl.grid.n_nodes)
+            load[tl.device_nodes] = 10.0 / tl.n_device_nodes
+            v, _ = solve_dc(tl.grid, load)
+            return v.min()
+
+        assert min_v(0.005) > min_v(0.05)
+
+    def test_via_starvation_hurts(self):
+        # Fewer vias (coarser top pitch) -> deeper device droop.
+        def min_v(factor):
+            tl = make_two_layer(top_pitch_factor=factor)
+            load = np.zeros(tl.grid.n_nodes)
+            load[tl.device_nodes] = 10.0 / tl.n_device_nodes
+            v, _ = solve_dc(tl.grid, load)
+            return float(v[tl.device_nodes].min())
+
+        assert min_v(8) <= min_v(2) + 1e-12
+
+    def test_transient_runs(self):
+        tl = make_two_layer()
+        grid = tl.grid
+        load = np.zeros(grid.n_nodes)
+        load[tl.device_nodes] = 5.0 / tl.n_device_nodes
+        solver = TransientSolver(grid, 2e-10)
+        result = solver.simulate(lambda s: load, n_steps=30)
+        assert result.n_records == 30
+        assert np.all(np.isfinite(result.voltages))
+
+    def test_current_conservation(self):
+        tl = make_two_layer()
+        load = np.zeros(tl.grid.n_nodes)
+        load[tl.device_nodes] = 8.0 / tl.n_device_nodes
+        _, pad_currents = solve_dc(tl.grid, load)
+        assert pad_currents.sum() == pytest.approx(8.0, rel=1e-9)

@@ -1,0 +1,68 @@
+"""Tests for repro.powergrid.netlist (SPICE export / parse round-trip)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.powergrid.grid import PowerGrid
+from repro.powergrid.ir_analysis import solve_dc
+from repro.powergrid.netlist import export_spice, parse_spice
+
+
+def sample_grid():
+    return PowerGrid.regular_mesh(
+        1.0, 1.0, pitch=0.5, pad_pitch=0.8, vdd=0.9
+    )
+
+
+class TestExport:
+    def test_deck_structure(self):
+        buf = io.StringIO()
+        export_spice(sample_grid(), buf)
+        text = buf.getvalue()
+        assert text.startswith("*")
+        assert "VVDD" in text
+        assert ".end" in text
+        assert "LP0" in text
+
+    def test_component_counts(self):
+        grid = sample_grid()
+        buf = io.StringIO()
+        export_spice(grid, buf)
+        lines = buf.getvalue().splitlines()
+        n_r = sum(1 for l in lines if l.startswith("R") and not l.startswith("RP"))
+        n_c = sum(1 for l in lines if l.startswith("C"))
+        assert n_r == grid.n_edges
+        assert n_c == grid.n_nodes  # all caps positive on a regular mesh
+
+    def test_file_path_target(self, tmp_path):
+        path = str(tmp_path / "grid.sp")
+        export_spice(sample_grid(), path)
+        with open(path) as fh:
+            assert "VVDD" in fh.read()
+
+
+class TestRoundTrip:
+    def test_electrical_equivalence(self):
+        grid = sample_grid()
+        buf = io.StringIO()
+        export_spice(grid, buf)
+        parsed = parse_spice(io.StringIO(buf.getvalue()))
+
+        assert parsed.n_nodes == grid.n_nodes
+        assert parsed.n_edges == grid.n_edges
+        assert parsed.vdd == pytest.approx(grid.vdd)
+        assert np.allclose(np.sort(parsed.node_cap), np.sort(grid.node_cap))
+        assert len(parsed.pads) == len(grid.pads)
+
+        # The DC solution under the same load must match exactly.
+        rng = np.random.default_rng(0)
+        load = rng.uniform(0, 0.01, grid.n_nodes)
+        v_orig, _ = solve_dc(grid, load)
+        v_parsed, _ = solve_dc(parsed, load)
+        assert np.allclose(v_orig, v_parsed, atol=1e-12)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_spice(io.StringIO("* empty deck\n.end\n"))

@@ -1,0 +1,102 @@
+"""Tests for repro.core.ols — the paper's Eq. (17) fit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ols import LinearModel, fit_ols
+
+
+class TestFitOLS:
+    def test_recovers_exact_affine_map(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((100, 3))
+        coef_true = rng.standard_normal((2, 3))
+        intercept_true = np.array([0.5, -1.0])
+        F = X @ coef_true.T + intercept_true
+        model = fit_ols(X, F)
+        assert np.allclose(model.coef, coef_true, atol=1e-10)
+        assert np.allclose(model.intercept, intercept_true, atol=1e-10)
+
+    def test_prediction_matches_training_on_noiseless(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((50, 4))
+        F = X @ rng.standard_normal((3, 4)).T + 0.9
+        model = fit_ols(X, F)
+        assert np.allclose(model.predict(X), F, atol=1e-10)
+
+    def test_residual_orthogonal_to_features(self):
+        # OLS first-order condition: X_c^T residual = 0.
+        rng = np.random.default_rng(2)
+        X = rng.standard_normal((80, 5))
+        F = rng.standard_normal((80, 2))
+        model = fit_ols(X, F)
+        resid = F - model.predict(X)
+        Xc = X - X.mean(axis=0)
+        assert np.allclose(Xc.T @ resid, 0.0, atol=1e-8)
+
+    def test_handles_rank_deficiency(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(60)
+        X = np.column_stack([x, x])  # identical features
+        F = (2 * x + 0.1)[:, np.newaxis]
+        model = fit_ols(X, F)
+        assert np.allclose(model.predict(X), F, atol=1e-10)
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ValueError):
+            fit_ols(np.ones((1, 2)), np.ones((1, 1)))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_ols(np.ones((5, 2)), np.ones((4, 1)))
+
+    @given(seed=st.integers(0, 50), n=st.integers(10, 80))
+    @settings(max_examples=25, deadline=None)
+    def test_ols_minimizes_frobenius_residual(self, seed, n):
+        # Perturbing the solution can never reduce the residual.
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((n, 3))
+        F = rng.standard_normal((n, 2))
+        model = fit_ols(X, F)
+        base = np.linalg.norm(F - model.predict(X))
+        for _ in range(3):
+            coef_p = model.coef + 0.01 * rng.standard_normal(model.coef.shape)
+            pred_p = X @ coef_p.T + model.intercept
+            assert np.linalg.norm(F - pred_p) >= base - 1e-9
+
+
+class TestLinearModel:
+    def test_predict_single_vector(self):
+        model = LinearModel(coef=np.array([[2.0, 0.0]]), intercept=np.array([1.0]))
+        out = model.predict(np.array([3.0, 5.0]))
+        assert out.shape == (1,)
+        assert out[0] == pytest.approx(7.0)
+
+    def test_predict_batch(self):
+        model = LinearModel(coef=np.array([[1.0]]), intercept=np.array([0.0]))
+        out = model.predict(np.array([[1.0], [2.0]]))
+        assert out.shape == (2, 1)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LinearModel(coef=np.ones(3), intercept=np.ones(1))
+        with pytest.raises(ValueError):
+            LinearModel(coef=np.ones((2, 3)), intercept=np.ones(3))
+        with pytest.raises(ValueError):
+            LinearModel(
+                coef=np.ones((2, 3)),
+                intercept=np.ones(2),
+                feature_indices=np.arange(4),
+            )
+
+    def test_predict_rejects_wrong_width(self):
+        model = LinearModel(coef=np.ones((1, 2)), intercept=np.zeros(1))
+        with pytest.raises(ValueError):
+            model.predict(np.ones((3, 5)))
+
+    def test_properties(self):
+        model = LinearModel(coef=np.ones((4, 2)), intercept=np.zeros(4))
+        assert model.n_responses == 4
+        assert model.n_features == 2

@@ -1,0 +1,68 @@
+"""Tests for repro.powergrid.pads."""
+
+import pytest
+
+from repro.powergrid.grid import PowerGrid
+from repro.powergrid.pads import Pad, peripheral_pads, uniform_pad_array
+
+
+def bare_grid():
+    return PowerGrid.regular_mesh(4.0, 2.0, pitch=0.5, pads=[])
+
+
+class TestPad:
+    def test_valid(self):
+        pad = Pad(node=0, resistance=0.02, inductance=1e-10)
+        assert pad.resistance == 0.02
+
+    def test_rejects_negative_node(self):
+        with pytest.raises(ValueError):
+            Pad(node=-1, resistance=0.02, inductance=0.0)
+
+    def test_rejects_zero_resistance(self):
+        with pytest.raises(ValueError):
+            Pad(node=0, resistance=0.0, inductance=0.0)
+
+    def test_rejects_negative_inductance(self):
+        with pytest.raises(ValueError):
+            Pad(node=0, resistance=0.02, inductance=-1e-12)
+
+
+class TestUniformPadArray:
+    def test_count_matches_array(self):
+        pads = uniform_pad_array(bare_grid(), pitch=1.0)
+        assert len(pads) == 4 * 2  # 4x2 array points
+
+    def test_nodes_unique(self):
+        pads = uniform_pad_array(bare_grid(), pitch=1.0)
+        nodes = [p.node for p in pads]
+        assert len(set(nodes)) == len(nodes)
+
+    def test_duplicates_merged_on_coarse_grid(self):
+        pads = uniform_pad_array(bare_grid(), pitch=0.4)
+        nodes = [p.node for p in pads]
+        assert len(set(nodes)) == len(nodes)
+
+    def test_rejects_zero_pitch(self):
+        with pytest.raises(ValueError):
+            uniform_pad_array(bare_grid(), pitch=0.0)
+
+    def test_huge_pitch_still_places_one(self):
+        pads = uniform_pad_array(bare_grid(), pitch=1.9)
+        assert len(pads) >= 1
+
+
+class TestPeripheralPads:
+    def test_pads_on_boundary(self):
+        grid = bare_grid()
+        pads = peripheral_pads(grid, spacing=1.0)
+        for pad in pads:
+            x, y = grid.node_position(pad.node)
+            on_edge = (
+                x in (0.0, grid.width) or y in (0.0, grid.height)
+            )
+            assert on_edge
+
+    def test_rejects_zero_spacing(self):
+        with pytest.raises(ValueError):
+            peripheral_pads(bare_grid(), spacing=0.0)

@@ -1,0 +1,59 @@
+"""Tests for repro.voltage.persistence (dataset save/load)."""
+
+import numpy as np
+import pytest
+
+from repro.voltage.persistence import load_dataset, save_dataset
+from tests.conftest import make_synthetic_dataset
+
+
+class TestRoundTrip:
+    def test_arrays_and_metadata_preserved(self, tmp_path):
+        ds = make_synthetic_dataset()
+        path = str(tmp_path / "ds.npz")
+        save_dataset(path, ds)
+        loaded = load_dataset(path)
+
+        # float32 storage: values match to storage precision.
+        assert np.allclose(loaded.X, ds.X, atol=1e-6)
+        assert np.allclose(loaded.F, ds.F, atol=1e-6)
+        assert np.array_equal(loaded.candidate_nodes, ds.candidate_nodes)
+        assert np.array_equal(loaded.candidate_cores, ds.candidate_cores)
+        assert np.array_equal(loaded.critical_nodes, ds.critical_nodes)
+        assert np.array_equal(loaded.block_cores, ds.block_cores)
+        assert loaded.block_names == ds.block_names
+        assert loaded.benchmark_names == ds.benchmark_names
+        assert loaded.vdd == ds.vdd
+
+    def test_creates_parent_directories(self, tmp_path):
+        ds = make_synthetic_dataset()
+        path = str(tmp_path / "deep" / "nest" / "ds.npz")
+        save_dataset(path, ds)
+        assert load_dataset(path).n_samples == ds.n_samples
+
+    def test_loaded_dataset_fully_usable(self, tmp_path):
+        from repro.core import PipelineConfig, fit_placement
+
+        ds = make_synthetic_dataset(noise=0.001, seed=5)
+        path = str(tmp_path / "ds.npz")
+        save_dataset(path, ds)
+        loaded = load_dataset(path)
+        model = fit_placement(loaded, PipelineConfig(budget=1.0))
+        assert model.n_sensors >= 1
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        ds = make_synthetic_dataset()
+        path = str(tmp_path / "ds.npz")
+        save_dataset(path, ds)
+        # Corrupt the version field.
+        data = dict(np.load(path))
+        meta = json.loads(bytes(data["meta"].tobytes()).decode())
+        meta["version"] = 99
+        data["meta"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_dataset(path)

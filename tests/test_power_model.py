@@ -1,0 +1,119 @@
+"""Tests for repro.workload.power_model."""
+
+import numpy as np
+import pytest
+
+from repro.workload.activity import ActivityTraces, generate_activity
+from repro.workload.benchmarks import get_benchmark
+from repro.workload.power_model import (
+        McPATLikePowerModel,
+    PowerModelConfig,
+)
+
+
+class TestPowerModelConfig:
+    def test_defaults_valid(self):
+        cfg = PowerModelConfig()
+        assert cfg.core_peak_power > 0
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            PowerModelConfig(core_peak_power=0.0)
+        with pytest.raises(ValueError):
+            PowerModelConfig(leakage_fraction=1.5)
+
+
+class TestPeakPower:
+    def test_core_budget_split(self, small_floorplan):
+        model = McPATLikePowerModel(
+            small_floorplan, PowerModelConfig(core_peak_power=10.0)
+        )
+        peak = model.peak_power
+        for core in range(small_floorplan.n_cores):
+            cols = [
+                j
+                for j, b in enumerate(small_floorplan.blocks)
+                if b.core_index == core
+            ]
+            assert peak[cols].sum() == pytest.approx(10.0)
+
+    def test_weights_respected(self, small_floorplan):
+        model = McPATLikePowerModel(small_floorplan)
+        peak = model.peak_power
+        blocks = small_floorplan.blocks
+        # Execution blocks are heavier than L1 blocks.
+        exe = next(j for j, b in enumerate(blocks) if "execution" in b.name)
+        l1 = next(j for j, b in enumerate(blocks) if "l1" in b.name)
+        assert peak[exe] > peak[l1]
+
+
+class TestBlockPower:
+    def make_traces(self, floorplan, activity_value, gate_value=1.0):
+        n_blocks = len(floorplan.blocks)
+        return ActivityTraces(
+            activity=np.full((10, n_blocks), activity_value),
+            gate=np.full((10, n_blocks), gate_value),
+            block_names=[b.name for b in floorplan.blocks],
+            benchmark="synthetic",
+        )
+
+    def test_full_activity_hits_core_budget(self, small_floorplan):
+        model = McPATLikePowerModel(
+            small_floorplan, PowerModelConfig(core_peak_power=8.0)
+        )
+        power = model.block_power(self.make_traces(small_floorplan, 1.0))
+        assert power.total_trace()[0] == pytest.approx(
+            8.0 * small_floorplan.n_cores
+        )
+
+    def test_zero_activity_burns_leakage_only(self, small_floorplan):
+        leak = 0.3
+        model = McPATLikePowerModel(
+            small_floorplan,
+            PowerModelConfig(core_peak_power=8.0, leakage_fraction=leak),
+        )
+        power = model.block_power(self.make_traces(small_floorplan, 0.0))
+        expected = leak * 8.0 * small_floorplan.n_cores
+        assert power.total_trace()[0] == pytest.approx(expected)
+
+    def test_power_gating_removes_everything(self, small_floorplan):
+        model = McPATLikePowerModel(small_floorplan)
+        power = model.block_power(
+            self.make_traces(small_floorplan, 0.8, gate_value=0.0)
+        )
+        assert power.total_trace()[0] == pytest.approx(0.0)
+
+    def test_wrong_block_order_rejected(self, small_floorplan):
+        model = McPATLikePowerModel(small_floorplan)
+        traces = self.make_traces(small_floorplan, 0.5)
+        traces.block_names = list(reversed(traces.block_names))
+        with pytest.raises(ValueError, match="order"):
+            model.block_power(traces)
+
+    def test_realistic_magnitudes(self, small_floorplan):
+        model = McPATLikePowerModel(small_floorplan)
+        traces = generate_activity(
+            small_floorplan, get_benchmark("x264"), 200, rng=0
+        )
+        power = model.block_power(traces)
+        mean = power.mean_power()
+        # Between pure leakage and full budget.
+        n = small_floorplan.n_cores
+        assert 0.25 * 16.0 * n * 0.3 < mean < 16.0 * n
+
+    def test_power_nonnegative(self, small_floorplan):
+        model = McPATLikePowerModel(small_floorplan)
+        traces = generate_activity(
+            small_floorplan, get_benchmark("radix"), 300, rng=1
+        )
+        assert model.block_power(traces).power.min() >= 0.0
+
+    def test_uncore_budget(self):
+        from repro.floorplan import make_xeon_e5_floorplan
+
+        fp = make_xeon_e5_floorplan(include_uncore=True)
+        model = McPATLikePowerModel(
+            fp, PowerModelConfig(uncore_peak_power=6.0)
+        )
+        uncore_cols = [j for j, b in enumerate(fp.blocks) if b.is_uncore]
+        assert model.peak_power[uncore_cols].sum() == pytest.approx(6.0)

@@ -1,0 +1,120 @@
+"""Tests for repro.powergrid.grid."""
+
+import numpy as np
+import pytest
+
+from repro.powergrid.grid import PowerGrid
+from repro.powergrid.pads import Pad
+
+
+def tiny_grid(**kw):
+    defaults = dict(width=2.0, height=1.0, pitch=0.5, pad_pitch=1.0)
+    defaults.update(kw)
+    return PowerGrid.regular_mesh(**defaults)
+
+
+class TestRegularMesh:
+    def test_node_count(self):
+        grid = tiny_grid()
+        assert grid.nx == 5
+        assert grid.ny == 3
+        assert grid.n_nodes == 15
+
+    def test_edge_count(self):
+        # horizontal: (nx-1)*ny, vertical: nx*(ny-1)
+        grid = tiny_grid()
+        assert grid.n_edges == 4 * 3 + 5 * 2
+
+    def test_coords_cover_extent(self):
+        grid = tiny_grid()
+        assert grid.width == pytest.approx(2.0)
+        assert grid.height == pytest.approx(1.0)
+
+    def test_capacitance_scaling(self):
+        grid = tiny_grid(cap_per_mm2=2e-9)
+        assert grid.node_cap[0] == pytest.approx(2e-9 * 0.25)
+        assert grid.total_decap == pytest.approx(15 * 2e-9 * 0.25)
+
+    def test_branch_conductance(self):
+        grid = tiny_grid(sheet_resistance=0.05)
+        assert np.allclose(grid.edge_conductance, 20.0)
+
+    def test_default_pads_generated(self):
+        grid = tiny_grid()
+        assert len(grid.pads) >= 1
+        assert all(isinstance(p, Pad) for p in grid.pads)
+
+    def test_rejects_bad_pitch(self):
+        with pytest.raises(ValueError):
+            PowerGrid.regular_mesh(1.0, 1.0, pitch=0.0)
+
+
+class TestValidation:
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            PowerGrid(
+                coords=np.zeros((2, 2)),
+                edge_nodes=np.array([[0, 0]]),
+                edge_conductance=np.array([1.0]),
+                node_cap=np.zeros(2),
+            )
+
+    def test_rejects_negative_conductance(self):
+        with pytest.raises(ValueError, match="positive"):
+            PowerGrid(
+                coords=np.zeros((2, 2)),
+                edge_nodes=np.array([[0, 1]]),
+                edge_conductance=np.array([-1.0]),
+                node_cap=np.zeros(2),
+            )
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(ValueError, match="out of range"):
+            PowerGrid(
+                coords=np.zeros((2, 2)),
+                edge_nodes=np.array([[0, 5]]),
+                edge_conductance=np.array([1.0]),
+                node_cap=np.zeros(2),
+            )
+
+    def test_rejects_pad_out_of_range(self):
+        with pytest.raises(ValueError, match="pad node"):
+            PowerGrid(
+                coords=np.zeros((2, 2)),
+                edge_nodes=np.array([[0, 1]]),
+                edge_conductance=np.array([1.0]),
+                node_cap=np.zeros(2),
+                pads=[Pad(node=9, resistance=0.1, inductance=0.0)],
+            )
+
+    def test_rejects_negative_cap(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PowerGrid(
+                coords=np.zeros((2, 2)),
+                edge_nodes=np.array([[0, 1]]),
+                edge_conductance=np.array([1.0]),
+                node_cap=np.array([-1e-9, 0.0]),
+            )
+
+
+class TestQueries:
+    def test_nearest_node(self):
+        grid = tiny_grid()
+        idx = grid.nearest_node(0.0, 0.0)
+        assert grid.node_position(idx) == (0.0, 0.0)
+        idx = grid.nearest_node(2.1, 1.1)
+        assert grid.node_position(idx) == (2.0, 1.0)
+
+    def test_neighbors_interior(self):
+        grid = tiny_grid()
+        center = grid.nearest_node(1.0, 0.5)
+        assert len(grid.neighbors(center)) == 4
+
+    def test_neighbors_corner(self):
+        grid = tiny_grid()
+        corner = grid.nearest_node(0.0, 0.0)
+        assert len(grid.neighbors(corner)) == 2
+
+    def test_summary(self):
+        text = tiny_grid().summary()
+        assert "15 nodes" in text

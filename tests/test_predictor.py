@@ -1,0 +1,99 @@
+"""Tests for repro.core.predictor (Eq. (20) and the Eq. (14) ablation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.group_lasso import group_lasso_constrained
+from repro.core.normalization import Standardizer
+from repro.core.predictor import GLCoefficientPredictor, VoltagePredictor
+from repro.voltage.metrics import mean_relative_error
+from tests.conftest import make_synthetic_dataset
+
+
+class TestVoltagePredictor:
+    def test_fit_and_predict_shapes(self):
+        ds = make_synthetic_dataset()
+        pred = VoltagePredictor.fit(ds.X, ds.F, selected=np.array([0, 5, 13]))
+        assert pred.n_sensors == 3
+        assert pred.n_blocks == ds.n_blocks
+        out = pred.predict(ds.X[:10, [0, 5, 13]])
+        assert out.shape == (10, ds.n_blocks)
+
+    def test_predict_from_candidates_equivalent(self):
+        ds = make_synthetic_dataset()
+        sel = np.array([2, 7])
+        pred = VoltagePredictor.fit(ds.X, ds.F, selected=sel)
+        a = pred.predict(ds.X[:5, sel])
+        b = pred.predict_from_candidates(ds.X[:5])
+        assert np.allclose(a, b)
+
+    def test_near_perfect_on_driver_sensors(self):
+        ds = make_synthetic_dataset(noise=0.0001, seed=3)
+        drivers = sorted({int(d) for k in range(ds.n_blocks) for d in ds.drivers[k]})
+        pred = VoltagePredictor.fit(ds.X, ds.F, selected=np.array(drivers))
+        err = mean_relative_error(pred.predict_from_candidates(ds.X), ds.F)
+        assert err < 1e-3
+
+    def test_alarm_flags(self):
+        ds = make_synthetic_dataset()
+        pred = VoltagePredictor.fit(ds.X, ds.F, selected=np.arange(5))
+        alarms = pred.alarm(ds.X[:20, :5], threshold=10.0)  # always below 10V
+        assert alarms.all()
+        quiet = pred.alarm(ds.X[:20, :5], threshold=0.0)
+        assert not quiet.any()
+
+    def test_alarm_single_sample(self):
+        ds = make_synthetic_dataset()
+        pred = VoltagePredictor.fit(ds.X, ds.F, selected=np.arange(3))
+        flag = pred.alarm(ds.X[0, :3], threshold=10.0)
+        assert bool(flag) is True
+
+    def test_rejects_empty_selection(self):
+        ds = make_synthetic_dataset()
+        with pytest.raises(ValueError, match="zero sensors"):
+            VoltagePredictor.fit(ds.X, ds.F, selected=np.array([], dtype=int))
+
+    def test_rejects_out_of_range_selection(self):
+        ds = make_synthetic_dataset()
+        with pytest.raises(ValueError, match="out of"):
+            VoltagePredictor.fit(ds.X, ds.F, selected=np.array([999]))
+
+    def test_sensor_nodes_alignment_enforced(self):
+        ds = make_synthetic_dataset()
+        with pytest.raises(ValueError):
+            VoltagePredictor.fit(
+                ds.X, ds.F, selected=np.array([0, 1]), sensor_nodes=np.array([5])
+            )
+
+
+class TestGLCoefficientPredictor:
+    def test_biased_worse_than_refit(self):
+        # The paper's Section 2.3 claim: predicting with the
+        # constrained GL coefficients loses accuracy vs the OLS refit.
+        ds = make_synthetic_dataset(noise=0.001, seed=9)
+        z = Standardizer().fit_transform(ds.X)
+        g = Standardizer().fit_transform(ds.F)
+        gl = group_lasso_constrained(z, g, budget=1.0)
+        selected = gl.active_groups(1e-3)
+        assert selected.size > 0
+
+        biased = GLCoefficientPredictor.fit(ds.X, ds.F, coef=gl.coef, selected=selected)
+        refit = VoltagePredictor.fit(ds.X, ds.F, selected=selected)
+        err_biased = mean_relative_error(
+            biased.predict_from_candidates(ds.X), ds.F
+        )
+        err_refit = mean_relative_error(
+            refit.predict_from_candidates(ds.X), ds.F
+        )
+        assert err_refit < err_biased
+
+    def test_predict_shape(self):
+        ds = make_synthetic_dataset()
+        coef = np.zeros((ds.n_blocks, ds.n_candidates))
+        pred = GLCoefficientPredictor.fit(
+            ds.X, ds.F, coef=coef, selected=np.array([0])
+        )
+        out = pred.predict_from_candidates(ds.X[:7])
+        assert out.shape == (7, ds.n_blocks)
+        # Zero coefficients predict the training mean of F.
+        assert np.allclose(out, ds.F.mean(axis=0), atol=1e-9)

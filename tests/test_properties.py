@@ -1,0 +1,149 @@
+"""Cross-module property-based tests (hypothesis).
+
+These check physical and mathematical invariants that unit tests with
+fixed numbers cannot: linearity of the grid, normalization identities,
+metric identities, and pipeline consistency under data transforms.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.normalization import Standardizer
+from repro.core.ols import fit_ols
+from repro.powergrid.grid import PowerGrid
+from repro.powergrid.transient import TransientSolver
+from repro.voltage.metrics import detection_error_rates
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    return PowerGrid.regular_mesh(2.0, 1.5, pitch=0.5, pad_pitch=1.0)
+
+
+class TestTransientLinearity:
+    @given(scale=st.floats(0.1, 3.0), seed=st.integers(0, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_droop_scales_linearly_with_load(self, scale, seed):
+        # The grid is LTI: droop(k*I) = k * droop(I) from matched ICs.
+        grid = PowerGrid.regular_mesh(2.0, 1.5, pitch=0.5, pad_pitch=1.0)
+        solver = TransientSolver(grid, 1e-10)
+        rng = np.random.default_rng(seed)
+        base = rng.uniform(0, 0.02, grid.n_nodes)
+
+        def run(load):
+            res = solver.simulate(
+                lambda s: load,
+                n_steps=30,
+                v0=np.full(grid.n_nodes, grid.vdd),
+                pad_current0=np.zeros(len(grid.pads)),
+            )
+            return grid.vdd - res.voltages  # droop
+
+        droop_1 = run(base)
+        droop_k = run(scale * base)
+        assert np.allclose(droop_k, scale * droop_1, atol=1e-9)
+
+    @given(seed=st.integers(0, 20))
+    @settings(max_examples=8, deadline=None)
+    def test_superposition_of_loads(self, seed):
+        grid = PowerGrid.regular_mesh(2.0, 1.5, pitch=0.5, pad_pitch=1.0)
+        solver = TransientSolver(grid, 1e-10)
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(0, 0.02, grid.n_nodes)
+        b = rng.uniform(0, 0.02, grid.n_nodes)
+
+        def droop(load):
+            res = solver.simulate(
+                lambda s: load,
+                n_steps=25,
+                v0=np.full(grid.n_nodes, grid.vdd),
+                pad_current0=np.zeros(len(grid.pads)),
+            )
+            return grid.vdd - res.voltages
+
+        assert np.allclose(droop(a + b), droop(a) + droop(b), atol=1e-9)
+
+
+class TestOLSInvariances:
+    @given(
+        shift=st.floats(-2.0, 2.0),
+        scale=st.floats(0.1, 5.0),
+        seed=st.integers(0, 30),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_prediction_invariant_to_feature_affine_transform(
+        self, shift, scale, seed
+    ):
+        # OLS with intercept is equivariant under affine feature maps:
+        # predictions are unchanged when X -> a*X + b.
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((60, 3))
+        F = rng.standard_normal((60, 2))
+        pred_orig = fit_ols(X, F).predict(X)
+        X2 = scale * X + shift
+        pred_tran = fit_ols(X2, F).predict(X2)
+        assert np.allclose(pred_orig, pred_tran, atol=1e-7)
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_standardize_then_ols_same_prediction(self, seed):
+        rng = np.random.default_rng(seed)
+        X = 0.9 + 0.05 * rng.standard_normal((80, 4))
+        F = 0.9 + 0.05 * rng.standard_normal((80, 2))
+        raw_pred = fit_ols(X, F).predict(X)
+        z = Standardizer().fit_transform(X)
+        norm_pred = fit_ols(z, F).predict(z)
+        assert np.allclose(raw_pred, norm_pred, atol=1e-8)
+
+
+class TestMetricIdentities:
+    @given(
+        n=st.integers(2, 300),
+        p_e=st.floats(0.05, 0.95),
+        p_a=st.floats(0.05, 0.95),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_te_decomposition(self, n, p_e, p_a, seed):
+        rng = np.random.default_rng(seed)
+        truth = rng.random(n) < p_e
+        alarm = rng.random(n) < p_a
+        rates = detection_error_rates(truth, alarm)
+        prev = truth.mean()
+        miss_part = 0.0 if np.isnan(rates.miss) else rates.miss * prev
+        wrong_part = (
+            0.0 if np.isnan(rates.wrong_alarm) else rates.wrong_alarm * (1 - prev)
+        )
+        assert rates.total == pytest.approx(miss_part + wrong_part, abs=1e-12)
+
+    @given(n=st.integers(1, 100), seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_perfect_detector_zero_error(self, n, seed):
+        rng = np.random.default_rng(seed)
+        truth = rng.random(n) < 0.4
+        rates = detection_error_rates(truth, truth.copy())
+        assert rates.total == 0.0
+
+
+class TestPipelineConsistency:
+    @given(seed=st.integers(0, 20))
+    @settings(max_examples=8, deadline=None)
+    def test_prediction_unchanged_by_unmeasured_columns(self, seed):
+        # Only sensor columns are read at runtime: garbage elsewhere in
+        # X must not change predictions.
+        from repro.core import PipelineConfig, fit_placement
+        from tests.conftest import make_synthetic_dataset
+
+        ds = make_synthetic_dataset(seed=seed)
+        model = fit_placement(ds, PipelineConfig(budget=1.0))
+        rng = np.random.default_rng(seed)
+        X = ds.X[:5].copy()
+        pred_a = model.predict(X)
+        garbage = X.copy()
+        mask = np.ones(ds.n_candidates, dtype=bool)
+        mask[model.sensor_candidate_cols] = False
+        garbage[:, mask] = rng.uniform(-100, 100, size=(5, mask.sum()))
+        pred_b = model.predict(garbage)
+        assert np.allclose(pred_a, pred_b)

@@ -1,0 +1,85 @@
+"""Tests for repro.experiments.report (markdown aggregation)."""
+
+import os
+
+import pytest
+
+from repro.experiments.report import build_report, write_report
+from repro.utils.io import save_results
+
+
+def seed_results(directory):
+    save_results(
+        os.path.join(directory, "table1.json"),
+        {
+            "experiment": "table1",
+            "result": {
+                "budgets": [1.0, 2.0],
+                "sensors_per_core": [2.0, 3.5],
+                "relative_errors_eval": [0.0035, 0.0026],
+            },
+        },
+    )
+    save_results(
+        os.path.join(directory, "fig1.json"),
+        {
+            "experiment": "fig1",
+            "result": {"budgets": [1.0], "selected": {"1.0": [3, 7]}},
+        },
+    )
+    save_results(
+        os.path.join(directory, "table2.json"),
+        {
+            "experiment": "table2",
+            "result": {
+                "eagle_eye": {"x264": {"miss": 0.15, "total": 0.04}},
+                "proposed": {"x264": {"miss": 0.07, "total": 0.02}},
+            },
+        },
+    )
+
+
+class TestBuildReport:
+    def test_sections_rendered(self, tmp_path):
+        seed_results(str(tmp_path))
+        text = build_report(str(tmp_path))
+        assert text.startswith("# Reproduction report")
+        assert "Table 1" in text
+        assert "| 1.00 | 2.00 | 0.350 |" in text
+        assert "2 sensors selected" in text
+        assert "| x264 | 0.1500 | 0.0400 | 0.0700 | 0.0200 |" in text
+
+    def test_paper_order(self, tmp_path):
+        seed_results(str(tmp_path))
+        text = build_report(str(tmp_path))
+        assert text.index("Fig. 1") < text.index("Table 1") < text.index("Table 2")
+
+    def test_empty_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            build_report(str(tmp_path))
+
+    def test_write_report(self, tmp_path):
+        seed_results(str(tmp_path))
+        path = write_report(str(tmp_path), title="Run 42")
+        assert os.path.exists(path)
+        with open(path) as fh:
+            assert fh.read().startswith("# Run 42")
+
+    def test_unknown_experiment_fallback(self, tmp_path):
+        save_results(
+            os.path.join(str(tmp_path), "mystery.json"),
+            {"experiment": "mystery", "result": {"stuff": 1}},
+        )
+        text = build_report(str(tmp_path))
+        assert "mystery" in text
+        assert "`stuff`" in text
+
+    def test_real_paper_results_if_present(self):
+        # When the archived paper run exists, the report must build.
+        results = os.path.join(
+            os.path.dirname(__file__), "..", "results", "paper"
+        )
+        if not os.path.isdir(results):
+            pytest.skip("no archived paper results")
+        text = build_report(results)
+        assert "Table 2" in text

@@ -1,0 +1,49 @@
+"""Tests for the manufacturing-robustness study."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.robustness import render_robustness, run_robustness_study
+
+
+class TestRobustnessStudy:
+    def test_structure(self, tiny_data):
+        result = run_robustness_study(
+            tiny_data,
+            n_instances=2,
+            resistance_sigma=0.1,
+            open_fraction=0.01,
+            n_steps=80,
+        )
+        assert len(result.instance_errors) == 2
+        assert len(result.instance_total_rates) == 2
+        assert result.nominal_error > 0
+        assert result.n_sensors >= 1
+
+    def test_degradation_bounded(self, tiny_data):
+        result = run_robustness_study(
+            tiny_data, n_instances=2, resistance_sigma=0.1,
+            open_fraction=0.01, n_steps=80,
+        )
+        # Moderate variation must not blow the model up.
+        assert result.worst_error < 20 * max(result.nominal_error, 1e-4)
+
+    def test_zero_variation_close_to_nominal(self, tiny_data):
+        result = run_robustness_study(
+            tiny_data, n_instances=1, resistance_sigma=0.0,
+            open_fraction=0.0, n_steps=80,
+        )
+        # Same grid, fresh workload realization: same error regime.
+        assert result.instance_errors[0] < 5 * max(result.nominal_error, 1e-4)
+
+    def test_render(self, tiny_data):
+        result = run_robustness_study(
+            tiny_data, n_instances=1, n_steps=60
+        )
+        text = render_robustness(result)
+        assert "Robustness" in text
+        assert "nominal rel err" in text
+
+    def test_rejects_bad_instances(self, tiny_data):
+        with pytest.raises(ValueError):
+            run_robustness_study(tiny_data, n_instances=0)

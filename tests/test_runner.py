@@ -1,0 +1,60 @@
+"""Tests for the experiment CLI runner."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+class TestRunExperiment:
+    def test_unknown_name_rejected(self, tiny_data):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("fig99", tiny_data)
+
+    def test_fig1_report_and_json(self, tiny_data, tmp_path):
+        out = str(tmp_path)
+        text = run_experiment("fig1", tiny_data, out_dir=out)
+        assert "Fig. 1" in text
+        assert "completed in" in text
+        path = os.path.join(out, "fig1.json")
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert payload["experiment"] == "fig1"
+
+    def test_table2_report(self, tiny_data, tmp_path):
+        text = run_experiment("table2", tiny_data, out_dir=str(tmp_path))
+        assert "Table 2" in text
+        assert os.path.exists(tmp_path / "table2.json")
+
+    def test_experiment_registry(self):
+        assert set(EXPERIMENTS) == {
+            "fig1",
+            "table1",
+            "fig2",
+            "fig3",
+            "table2",
+            "fig4",
+            "ablations",
+            "extensions",
+        }
+
+
+class TestMoreExperimentBranches:
+    def test_table1_payload(self, tiny_data, tmp_path):
+        text = run_experiment("table1", tiny_data, out_dir=str(tmp_path))
+        assert "Table 1" in text
+        assert os.path.exists(tmp_path / "table1.json")
+
+    def test_fig3_payload(self, tiny_data, tmp_path):
+        text = run_experiment("fig3", tiny_data, out_dir=str(tmp_path))
+        assert "Eagle-Eye" in text
+        payload = json.load(open(tmp_path / "fig3.json"))
+        assert "noisiest_unit" in payload["result"]
+
+    def test_fig4_payload(self, tiny_data, tmp_path):
+        text = run_experiment("fig4", tiny_data, out_dir=str(tmp_path))
+        assert "Fig. 4" in text
+        payload = json.load(open(tmp_path / "fig4.json"))
+        assert len(payload["result"]["sensors_per_core"]) >= 2

@@ -1,0 +1,74 @@
+"""Tests for repro.voltage.sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.voltage.maps import VoltageMapSet
+from repro.voltage.sampling import sample_maps, stratified_sample_rows
+
+
+class TestStratifiedSampleRows:
+    def test_balanced_groups(self):
+        labels = np.repeat([0, 1, 2], 100)
+        rows = stratified_sample_rows(labels, 90, rng=0)
+        counts = np.bincount(labels[rows])
+        assert np.array_equal(counts, [30, 30, 30])
+
+    def test_no_duplicates(self):
+        labels = np.repeat([0, 1], 50)
+        rows = stratified_sample_rows(labels, 60, rng=1)
+        assert len(set(rows.tolist())) == 60
+
+    def test_sorted_output(self):
+        labels = np.repeat([0, 1], 50)
+        rows = stratified_sample_rows(labels, 30, rng=2)
+        assert np.array_equal(rows, np.sort(rows))
+
+    def test_remainder_filled(self):
+        labels = np.repeat([0, 1, 2], 10)
+        rows = stratified_sample_rows(labels, 29, rng=3)
+        assert rows.shape[0] == 29
+
+    def test_small_group_capped(self):
+        labels = np.array([0] * 3 + [1] * 100)
+        rows = stratified_sample_rows(labels, 50, rng=4)
+        assert rows.shape[0] == 50
+        assert (labels[rows] == 0).sum() <= 3
+
+    def test_rejects_too_many(self):
+        with pytest.raises(ValueError):
+            stratified_sample_rows(np.zeros(10, dtype=int), 11)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            stratified_sample_rows(np.zeros(10, dtype=int), 0)
+
+    @given(
+        n_per=st.integers(5, 40),
+        n_groups=st.integers(1, 5),
+        frac=st.floats(0.1, 1.0),
+        seed=st.integers(0, 99),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_valid_selection(self, n_per, n_groups, frac, seed):
+        labels = np.repeat(np.arange(n_groups), n_per)
+        n_total = max(1, int(frac * len(labels)))
+        rows = stratified_sample_rows(labels, n_total, rng=seed)
+        assert rows.shape[0] == n_total
+        assert len(set(rows.tolist())) == n_total
+        assert rows.min() >= 0 and rows.max() < len(labels)
+
+
+class TestSampleMaps:
+    def test_sample_respects_total(self):
+        maps = VoltageMapSet(
+            voltages=np.random.default_rng(0).random((40, 3)),
+            benchmark_of_sample=np.arange(40) % 4,
+            benchmark_names=["a", "b", "c", "d"],
+        )
+        out = sample_maps(maps, 20, rng=0)
+        assert out.n_samples == 20
+        # Balanced: 5 per benchmark.
+        assert np.array_equal(np.bincount(out.benchmark_of_sample), [5, 5, 5, 5])

@@ -1,0 +1,118 @@
+"""Tests for repro.sensors (physical sensor models + calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.calibration import calibrated_predictor, evaluate_sensor_impact
+from repro.sensors.model import SensorArray, SensorSpec
+from tests.conftest import make_synthetic_dataset
+
+
+class TestSensorSpec:
+    def test_lsb(self):
+        spec = SensorSpec(resolution_bits=8, v_min=0.7, v_max=1.1)
+        assert spec.lsb == pytest.approx(0.4 / 255)
+
+    def test_zero_bits_means_ideal(self):
+        assert SensorSpec(resolution_bits=0).lsb == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SensorSpec(v_min=1.0, v_max=0.9)
+        with pytest.raises(ValueError):
+            SensorSpec(noise_sigma=-1.0)
+        with pytest.raises(ValueError):
+            SensorSpec(resolution_bits=30)
+
+
+class TestSensorArray:
+    def ideal_spec(self):
+        return SensorSpec(resolution_bits=0, noise_sigma=0.0, offset_sigma=0.0)
+
+    def test_ideal_array_is_identity(self):
+        array = SensorArray(3, self.ideal_spec(), rng=0)
+        v = np.array([0.9, 0.85, 1.0])
+        assert np.allclose(array.measure(v), v)
+
+    def test_quantization_grid(self):
+        spec = SensorSpec(
+            resolution_bits=4, v_min=0.8, v_max=1.0, noise_sigma=0.0, offset_sigma=0.0
+        )
+        array = SensorArray(1, spec, rng=0)
+        reading = array.measure(np.array([0.873]))
+        # Reading lies on the 16-level grid.
+        steps = (reading - 0.8) / spec.lsb
+        assert np.allclose(steps, np.round(steps))
+        assert abs(reading[0] - 0.873) <= spec.lsb / 2 + 1e-12
+
+    def test_clipping(self):
+        spec = SensorSpec(
+            resolution_bits=0, v_min=0.8, v_max=1.0, noise_sigma=0.0, offset_sigma=0.0
+        )
+        array = SensorArray(2, spec, rng=0)
+        out = array.measure(np.array([0.5, 1.5]))
+        assert out.tolist() == [0.8, 1.0]
+
+    def test_offsets_static_per_instance(self):
+        spec = SensorSpec(resolution_bits=0, noise_sigma=0.0, offset_sigma=0.01)
+        array = SensorArray(4, spec, rng=1)
+        v = np.full(4, 0.9)
+        a = array.measure(v)
+        b = array.measure(v)
+        assert np.allclose(a, b)  # offsets are static, no noise
+        assert not np.allclose(a, v)  # but they exist
+
+    def test_noise_varies_per_call(self):
+        spec = SensorSpec(resolution_bits=0, noise_sigma=0.005, offset_sigma=0.0)
+        array = SensorArray(4, spec, rng=2)
+        v = np.full(4, 0.9)
+        assert not np.allclose(array.measure(v), array.measure(v))
+
+    def test_batch_shape(self):
+        array = SensorArray(3, self.ideal_spec(), rng=0)
+        out = array.measure(np.full((7, 3), 0.9))
+        assert out.shape == (7, 3)
+
+    def test_channel_mismatch(self):
+        array = SensorArray(3, self.ideal_spec(), rng=0)
+        with pytest.raises(ValueError):
+            array.measure(np.ones((2, 4)))
+
+
+class TestCalibration:
+    def test_calibrated_beats_uncalibrated(self):
+        ds = make_synthetic_dataset(noise=0.0005, seed=17)
+        train, test = ds.train_test_split(0.3, rng=0)
+        selected = np.arange(6)
+        spec = SensorSpec(
+            resolution_bits=8, noise_sigma=0.0005, offset_sigma=0.005
+        )
+        impact = evaluate_sensor_impact(train, test, selected, spec, rng=3)
+        # Static offsets hurt the uncalibrated path; calibration absorbs
+        # them into the intercept.
+        assert impact.measured_error < impact.uncalibrated_error
+        # And physical sensors cannot beat ideal ones by a margin.
+        assert impact.measured_error >= impact.ideal_error * 0.5
+
+    def test_ideal_spec_matches_ideal_error(self):
+        ds = make_synthetic_dataset(noise=0.0005, seed=18)
+        train, test = ds.train_test_split(0.3, rng=1)
+        spec = SensorSpec(resolution_bits=0, noise_sigma=0.0, offset_sigma=0.0)
+        impact = evaluate_sensor_impact(train, test, np.arange(4), spec, rng=0)
+        assert impact.measured_error == pytest.approx(impact.ideal_error, rel=1e-9)
+        assert impact.uncalibrated_error == pytest.approx(
+            impact.ideal_error, rel=1e-9
+        )
+
+    def test_calibrated_predictor_bookkeeping(self):
+        ds = make_synthetic_dataset()
+        array = SensorArray(3, SensorSpec(), rng=0)
+        pred = calibrated_predictor(ds, np.array([1, 4, 9]), array)
+        assert np.array_equal(pred.selected, [1, 4, 9])
+        assert pred.n_sensors == 3
+
+    def test_sensor_count_mismatch(self):
+        ds = make_synthetic_dataset()
+        array = SensorArray(2, SensorSpec(), rng=0)
+        with pytest.raises(ValueError):
+            calibrated_predictor(ds, np.array([1, 4, 9]), array)

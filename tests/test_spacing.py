@@ -1,0 +1,69 @@
+"""Tests for repro.core.spacing (minimum sensor spacing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spacing import enforce_min_spacing
+
+
+class TestEnforceMinSpacing:
+    def grid_positions(self, n=10, pitch=1.0):
+        return np.array([[i * pitch, 0.0] for i in range(n)], dtype=float)
+
+    def test_top_ranked_always_kept(self):
+        pos = self.grid_positions()
+        kept = enforce_min_spacing(np.array([4, 3, 5]), pos, min_spacing=2.0)
+        assert 4 in kept.tolist()
+
+    def test_close_pair_filtered(self):
+        pos = self.grid_positions(pitch=1.0)
+        # 3 and 4 are 1.0 apart; with spacing 1.5 only the better one stays.
+        kept = enforce_min_spacing(np.array([3, 4, 8]), pos, min_spacing=1.5)
+        assert kept.tolist() == [3, 8]
+
+    def test_spacing_satisfied(self):
+        rng = np.random.default_rng(0)
+        pos = rng.uniform(0, 10, size=(50, 2))
+        ranked = rng.permutation(50)
+        kept = enforce_min_spacing(ranked, pos, min_spacing=2.0)
+        for i, a in enumerate(kept):
+            for b in kept[i + 1 :]:
+                assert np.linalg.norm(pos[a] - pos[b]) >= 2.0
+
+    def test_max_sensors_cap(self):
+        pos = self.grid_positions()
+        kept = enforce_min_spacing(
+            np.arange(10), pos, min_spacing=0.5, max_sensors=3
+        )
+        assert kept.shape[0] == 3
+
+    def test_empty_input(self):
+        kept = enforce_min_spacing(
+            np.array([], dtype=int), self.grid_positions(), 1.0
+        )
+        assert kept.shape[0] == 0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            enforce_min_spacing(np.array([99]), self.grid_positions(), 1.0)
+
+    def test_rejects_bad_spacing(self):
+        with pytest.raises(ValueError):
+            enforce_min_spacing(np.array([0]), self.grid_positions(), 0.0)
+
+    @given(
+        seed=st.integers(0, 50),
+        spacing=st.floats(0.5, 4.0),
+        n=st.integers(2, 30),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_pairwise_spacing(self, seed, spacing, n):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 8, size=(n, 2))
+        kept = enforce_min_spacing(rng.permutation(n), pos, spacing)
+        assert kept.size >= 1  # the first-ranked candidate always fits
+        for i, a in enumerate(kept):
+            for b in kept[i + 1 :]:
+                assert np.linalg.norm(pos[a] - pos[b]) >= spacing - 1e-12

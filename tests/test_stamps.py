@@ -1,0 +1,74 @@
+"""Tests for repro.powergrid.stamps (MNA assembly)."""
+
+import numpy as np
+import pytest
+
+from repro.powergrid.grid import PowerGrid
+from repro.powergrid.pads import Pad
+from repro.powergrid.stamps import (
+    pad_companion_conductance,
+    pad_resistive_conductance,
+    stamp_capacitance,
+    stamp_grid_conductance,
+)
+
+
+def line_grid():
+    """Three nodes in a line, two 10-siemens branches."""
+    return PowerGrid(
+        coords=np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]]),
+        edge_nodes=np.array([[0, 1], [1, 2]]),
+        edge_conductance=np.array([10.0, 10.0]),
+        node_cap=np.array([1e-9, 2e-9, 3e-9]),
+        pads=[Pad(node=0, resistance=0.1, inductance=1e-10)],
+    )
+
+
+class TestConductanceStamp:
+    def test_laplacian_structure(self):
+        G = stamp_grid_conductance(line_grid()).toarray()
+        expected = np.array(
+            [[10.0, -10.0, 0.0], [-10.0, 20.0, -10.0], [0.0, -10.0, 10.0]]
+        )
+        assert np.allclose(G, expected)
+
+    def test_symmetric(self):
+        G = stamp_grid_conductance(line_grid()).toarray()
+        assert np.allclose(G, G.T)
+
+    def test_rows_sum_to_zero(self):
+        # Laplacian: each row sums to zero (before pads are stamped).
+        G = stamp_grid_conductance(line_grid()).toarray()
+        assert np.allclose(G.sum(axis=1), 0.0)
+
+    def test_positive_semidefinite(self):
+        G = stamp_grid_conductance(line_grid()).toarray()
+        eigs = np.linalg.eigvalsh(G)
+        assert eigs.min() >= -1e-12
+
+
+class TestCapacitanceStamp:
+    def test_diagonal(self):
+        C = stamp_capacitance(line_grid()).toarray()
+        assert np.allclose(C, np.diag([1e-9, 2e-9, 3e-9]))
+
+
+class TestPadConductances:
+    def test_companion_value(self):
+        grid = line_grid()
+        h = 1e-10
+        g = pad_companion_conductance(grid, h)
+        assert g[0] == pytest.approx(1.0 / (0.1 + 1e-10 / 1e-10))
+
+    def test_companion_approaches_resistive_for_large_h(self):
+        grid = line_grid()
+        g = pad_companion_conductance(grid, 1.0)
+        assert g[0] == pytest.approx(1.0 / 0.1, rel=1e-6)
+
+    def test_companion_rejects_bad_timestep(self):
+        with pytest.raises(ValueError):
+            pad_companion_conductance(line_grid(), 0.0)
+
+    def test_resistive(self):
+        g = pad_resistive_conductance(line_grid())
+        assert g[0] == pytest.approx(10.0)

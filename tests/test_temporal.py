@@ -1,0 +1,100 @@
+"""Tests for repro.core.temporal (history-stacked prediction)."""
+
+import numpy as np
+import pytest
+
+from repro.core.temporal import (
+    TemporalPredictor,
+    history_gain_study,
+    stack_history,
+)
+
+
+class TestStackHistory:
+    def test_depth_one_is_identity(self):
+        x = np.arange(12.0).reshape(6, 2)
+        assert np.array_equal(stack_history(x, 1), x)
+
+    def test_depth_two_layout(self):
+        x = np.array([[1.0], [2.0], [3.0]])
+        stacked = stack_history(x, 2)
+        # row i = [x[i+1], x[i]] (current first, then lag 1)
+        assert np.array_equal(stacked, [[2.0, 1.0], [3.0, 2.0]])
+
+    def test_shapes(self):
+        x = np.random.default_rng(0).random((10, 3))
+        stacked = stack_history(x, 4)
+        assert stacked.shape == (7, 12)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            stack_history(np.ones((2, 1)), 3)
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            stack_history(np.ones((5, 1)), 0)
+
+
+class TestTemporalPredictor:
+    def make_dynamic_system(self, n=600, seed=0):
+        """Target depends on current AND previous sensor values."""
+        rng = np.random.default_rng(seed)
+        s = rng.standard_normal((n, 2)) * 0.01 + 0.9
+        target = np.empty((n, 1))
+        target[0] = 0.9
+        for t in range(1, n):
+            target[t] = 0.5 * s[t, 0] + 0.5 * s[t - 1, 1]
+        return s, target
+
+    def test_depth1_equals_instantaneous_ols(self):
+        s, f = self.make_dynamic_system()
+        from repro.core.ols import fit_ols
+
+        temporal = TemporalPredictor.fit(s, f, depth=1)
+        plain = fit_ols(s, f)
+        assert np.allclose(temporal.model.coef, plain.coef)
+
+    def test_history_captures_dynamics(self):
+        s, f = self.make_dynamic_system()
+        d1 = TemporalPredictor.fit(s[:400], f[:400], depth=1)
+        d2 = TemporalPredictor.fit(s[:400], f[:400], depth=2)
+        err1 = np.abs(d1.predict_trace(s[400:]) - f[400:]).mean()
+        err2 = np.abs(d2.predict_trace(s[400:]) - f[401:]).mean()
+        # The system has one-step memory: depth 2 is nearly exact.
+        assert err2 < 0.1 * err1
+
+    def test_predict_shape(self):
+        s, f = self.make_dynamic_system(n=50)
+        pred = TemporalPredictor.fit(s, f, depth=3).predict_trace(s)
+        assert pred.shape == (48, 1)
+
+
+class TestHistoryGainStudy:
+    def test_monotone_for_dynamic_target(self):
+        s, f = TestTemporalPredictor().make_dynamic_system(n=800, seed=3)
+        points = history_gain_study(s, f, depths=(1, 2, 4))
+        errs = [p.relative_error for p in points]
+        assert errs[1] <= errs[0]
+        assert all(e >= 0 for e in errs)
+
+    def test_on_simulated_trace(self, tiny_data):
+        from repro.core import PipelineConfig, fit_placement
+        from repro.experiments.data_generation import simulate_benchmark_trace
+
+        model = fit_placement(tiny_data.train, PipelineConfig(budget=0.6))
+        volts, _ = simulate_benchmark_trace(
+            tiny_data.chip, "x264", n_steps=300, seed=11
+        )
+        sensors = volts[:, model.sensor_nodes(tiny_data.train)]
+        targets = volts[:, tiny_data.train.critical_nodes]
+        points = history_gain_study(sensors, targets, depths=(1, 4))
+        # History never hurts materially on grid dynamics.
+        assert points[1].relative_error <= points[0].relative_error * 1.2
+
+    def test_validation(self):
+        s = np.ones((20, 1))
+        f = np.ones((20, 1))
+        with pytest.raises(ValueError):
+            history_gain_study(s, f, depths=(1,), train_fraction=1.5)
+        with pytest.raises(ValueError):
+            history_gain_study(s[:6], f[:6], depths=(8,))

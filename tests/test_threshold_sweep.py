@@ -1,0 +1,53 @@
+"""Tests for the threshold-sweep (operating curve) study."""
+
+import numpy as np
+
+from repro.experiments.threshold_sweep import (
+    render_threshold_sweep,
+    run_threshold_sweep,
+)
+
+
+class TestThresholdSweep:
+    def test_structure(self, tiny_data):
+        result = run_threshold_sweep(
+            tiny_data, thresholds=(0.84, 0.85, 0.86), sensors_per_core=1
+        )
+        assert result.thresholds == [0.84, 0.85, 0.86]
+        assert len(result.eagle_eye) == 3
+        assert len(result.proposed) == 3
+
+    def test_prevalence_monotone_in_threshold(self, tiny_data):
+        result = run_threshold_sweep(
+            tiny_data, thresholds=(0.83, 0.85, 0.87), sensors_per_core=1
+        )
+        assert result.prevalence == sorted(result.prevalence)
+
+    def test_rates_valid(self, tiny_data):
+        result = run_threshold_sweep(
+            tiny_data, thresholds=(0.85, 0.86), sensors_per_core=1
+        )
+        for rates in result.eagle_eye + result.proposed:
+            assert 0.0 <= rates.total <= 1.0
+            if not np.isnan(rates.miss):
+                assert 0.0 <= rates.miss <= 1.0
+
+    def test_render(self, tiny_data):
+        result = run_threshold_sweep(
+            tiny_data, thresholds=(0.85,), sensors_per_core=1
+        )
+        text = render_threshold_sweep(result)
+        assert "Operating curve" in text
+        assert "0.850" in text
+
+    def test_reuses_given_model(self, tiny_data):
+        from repro.core import PipelineConfig, fit_placement
+
+        model = fit_placement(tiny_data.train, PipelineConfig(budget=0.6))
+        result = run_threshold_sweep(
+            tiny_data,
+            thresholds=(0.85,),
+            sensors_per_core=1,
+            proposed_model=model,
+        )
+        assert len(result.proposed) == 1

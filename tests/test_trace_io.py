@@ -1,0 +1,95 @@
+"""Tests for repro.workload.trace_io (activity import/export)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.workload.activity import generate_activity
+from repro.workload.benchmarks import get_benchmark
+from repro.workload.trace_io import (
+    activity_from_csv,
+    activity_to_csv,
+    load_activity,
+    save_activity,
+)
+
+
+@pytest.fixture(scope="module")
+def traces(small_floorplan):
+    return generate_activity(small_floorplan, get_benchmark("ferret"), 40, rng=0)
+
+
+class TestNpzRoundTrip:
+    def test_lossless_within_float32(self, traces, tmp_path):
+        path = str(tmp_path / "act.npz")
+        save_activity(path, traces)
+        loaded = load_activity(path)
+        assert np.allclose(loaded.activity, traces.activity, atol=1e-6)
+        assert np.allclose(loaded.gate, traces.gate, atol=1e-6)
+        assert loaded.block_names == traces.block_names
+        assert loaded.benchmark == traces.benchmark
+
+    def test_nested_path_created(self, traces, tmp_path):
+        path = str(tmp_path / "a" / "b" / "act.npz")
+        save_activity(path, traces)
+        assert load_activity(path).n_steps == traces.n_steps
+
+
+class TestCsv:
+    def test_round_trip_effective_activity(self, traces):
+        buf = io.StringIO()
+        activity_to_csv(buf, traces)
+        loaded = activity_from_csv(io.StringIO(buf.getvalue()))
+        assert loaded.block_names == traces.block_names
+        assert np.allclose(
+            loaded.activity, traces.effective_activity(), atol=1e-5
+        )
+        assert np.all(loaded.gate == 1.0)
+
+    def test_block_order_check(self, traces):
+        buf = io.StringIO()
+        activity_to_csv(buf, traces)
+        with pytest.raises(ValueError, match="order"):
+            activity_from_csv(
+                io.StringIO(buf.getvalue()),
+                block_names=list(reversed(traces.block_names)),
+            )
+
+    def test_file_paths(self, traces, tmp_path):
+        path = str(tmp_path / "act.csv")
+        activity_to_csv(path, traces)
+        loaded = activity_from_csv(path, benchmark="mine")
+        assert loaded.benchmark == "mine"
+        assert loaded.n_steps == traces.n_steps
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(ValueError, match="header"):
+            activity_from_csv(io.StringIO("a,b\n1,2\n"))
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            activity_from_csv(io.StringIO("step,x,y\n0,0.5\n"))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no data"):
+            activity_from_csv(io.StringIO("step,x\n"))
+
+    def test_values_clipped(self):
+        loaded = activity_from_csv(io.StringIO("step,x\n0,1.7\n1,-0.3\n"))
+        assert loaded.activity.max() <= 1.0
+        assert loaded.activity.min() >= 0.0
+
+    def test_imported_traces_drive_power_model(self, small_floorplan, traces):
+        # The adoption path: CSV in -> power model -> block power.
+        from repro.workload.power_model import McPATLikePowerModel
+
+        buf = io.StringIO()
+        activity_to_csv(buf, traces)
+        loaded = activity_from_csv(
+            io.StringIO(buf.getvalue()),
+            block_names=[b.name for b in small_floorplan.blocks],
+        )
+        power = McPATLikePowerModel(small_floorplan).block_power(loaded)
+        assert power.n_steps == traces.n_steps
+        assert power.power.min() >= 0.0

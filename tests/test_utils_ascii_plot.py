@@ -1,0 +1,71 @@
+"""Tests for repro.utils.ascii_plot."""
+
+import numpy as np
+import pytest
+
+from repro.utils.ascii_plot import (
+    line_plot,
+    multi_line_plot,
+    scatter_grid,
+    stem_plot_log,
+)
+
+
+class TestLinePlot:
+    def test_basic(self):
+        text = line_plot([1.0, 2.0, 3.0, 2.0], title="t", y_label="V")
+        assert text.splitlines()[0] == "t"
+        assert "*" in text
+
+    def test_constant_series(self):
+        text = line_plot([5.0] * 10)
+        assert "*" in text
+
+    def test_custom_x(self):
+        text = line_plot([1.0, 4.0], x=[0.0, 100.0])
+        assert "*" in text
+
+
+class TestMultiLinePlot:
+    def test_markers_and_legend(self):
+        text = multi_line_plot(
+            [[1, 2, 3], [3, 2, 1]], labels=["up", "down"], markers="ab"
+        )
+        assert "a=up" in text
+        assert "b=down" in text
+
+    def test_empty_returns_placeholder(self):
+        assert multi_line_plot([]) == "(empty plot)"
+
+    def test_range_header(self):
+        text = multi_line_plot([[0.0, 10.0]])
+        assert text.splitlines()[0].startswith("10")
+
+
+class TestStemPlotLog:
+    def test_spans_magnitudes(self):
+        text = stem_plot_log([1e-9, 1e-3, 1.0])
+        assert "log10 max" in text
+        assert "log10 min" in text
+        assert "*" in text
+
+    def test_zeros_clamped_to_floor(self):
+        text = stem_plot_log([0.0, 1.0], floor=1e-12)
+        assert "-12" in text
+
+    def test_title(self):
+        assert stem_plot_log([1.0], title="norms").splitlines()[0] == "norms"
+
+
+class TestScatterGrid:
+    def test_points_drawn(self):
+        text = scatter_grid(10.0, 10.0, [(5.0, 5.0, "X")], width=20, height=10)
+        assert "X" in text
+
+    def test_points_clipped_to_canvas(self):
+        text = scatter_grid(10.0, 10.0, [(100.0, -5.0, "X")], width=20, height=10)
+        assert "X" in text  # clamped to an edge, not dropped
+
+    def test_rejects_bad_extent(self):
+        with pytest.raises(ValueError):
+            scatter_grid(0.0, 10.0, [])

@@ -1,0 +1,52 @@
+"""Tests for repro.utils.io."""
+
+import dataclasses
+import json
+import os
+
+import numpy as np
+
+from repro.utils.io import ensure_dir, load_results, save_results, to_jsonable
+
+
+class TestToJsonable:
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(3)) == 3
+        assert to_jsonable(np.float64(1.5)) == 1.5
+        assert to_jsonable(np.bool_(True)) is True
+
+    def test_numpy_array(self):
+        assert to_jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_nested(self):
+        out = to_jsonable({"a": [np.float32(0.5)], "b": (1, np.array([2]))})
+        json.dumps(out)  # must be serializable
+
+    def test_dataclass(self):
+        @dataclasses.dataclass
+        class D:
+            x: int
+            y: np.ndarray
+
+        out = to_jsonable(D(x=1, y=np.array([3.0])))
+        assert out == {"x": 1, "y": [3.0]}
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "r.json")
+        save_results(path, {"k": np.array([1.0, 2.0]), "n": 3})
+        loaded = load_results(path)
+        assert loaded == {"k": [1.0, 2.0], "n": 3}
+
+    def test_array_sidecar(self, tmp_path):
+        path = str(tmp_path / "sub" / "r.json")
+        save_results(path, {"meta": 1}, arrays={"big": np.arange(10.0)})
+        assert os.path.exists(path + ".npz")
+        with np.load(path + ".npz") as npz:
+            assert np.array_equal(npz["big"], np.arange(10.0))
+
+    def test_ensure_dir(self, tmp_path):
+        target = str(tmp_path / "a" / "b")
+        assert ensure_dir(target) == target
+        assert os.path.isdir(target)

@@ -1,0 +1,81 @@
+"""Tests for repro.floorplan.xeon_like."""
+
+import pytest
+
+from repro.floorplan.blocks import UnitKind
+from repro.floorplan.xeon_like import (
+    SMALL_CORE_TEMPLATE,
+    XEON_CORE_TEMPLATE,
+    make_small_floorplan,
+    make_xeon_e5_floorplan,
+)
+
+
+class TestTemplates:
+    def test_xeon_template_has_30_blocks(self):
+        assert sum(len(row) for row in XEON_CORE_TEMPLATE) == 30
+
+    def test_xeon_template_has_execution_units(self):
+        units = [u for row in XEON_CORE_TEMPLATE for u in row]
+        assert units.count(UnitKind.EXECUTION) == 6
+
+    def test_small_template_has_6_blocks(self):
+        assert sum(len(row) for row in SMALL_CORE_TEMPLATE) == 6
+
+
+class TestXeonFloorplan:
+    def test_paper_configuration(self, xeon_floorplan):
+        assert xeon_floorplan.n_cores == 8
+        assert xeon_floorplan.n_blocks == 240
+        for core in range(8):
+            assert len(xeon_floorplan.blocks_in_core(core)) == 30
+
+    def test_block_names_unique_and_scoped(self, xeon_floorplan):
+        names = [b.name for b in xeon_floorplan.blocks]
+        assert len(set(names)) == 240
+        assert all(n.startswith("core") for n in names)
+
+    def test_execution_blocks_heaviest(self, xeon_floorplan):
+        exe = xeon_floorplan.blocks_of_unit(UnitKind.EXECUTION)[0]
+        cache = xeon_floorplan.blocks_of_unit(UnitKind.L2_CACHE)[0]
+        assert exe.power_weight > cache.power_weight
+
+    def test_caches_not_gateable(self, xeon_floorplan):
+        for blk in xeon_floorplan.blocks_of_unit(UnitKind.L1_CACHE):
+            assert not blk.gateable
+        for blk in xeon_floorplan.blocks_of_unit(UnitKind.EXECUTION):
+            assert blk.gateable
+
+    def test_blank_area_exists_between_blocks(self, xeon_floorplan):
+        # the block gaps must produce BA inside every core
+        assert xeon_floorplan.blank_area > 0.3 * xeon_floorplan.chip.area
+
+    def test_uncore_option(self):
+        fp = make_xeon_e5_floorplan(include_uncore=True)
+        uncore = fp.blocks_in_core(-1)
+        assert len(uncore) == 8
+        assert all(b.unit == UnitKind.UNCORE for b in uncore)
+
+    def test_custom_core_array(self):
+        fp = make_xeon_e5_floorplan(core_cols=2, core_rows=1)
+        assert fp.n_cores == 2
+        assert fp.n_blocks == 60
+
+    def test_rejects_bad_array(self):
+        with pytest.raises(ValueError):
+            make_xeon_e5_floorplan(core_cols=0)
+
+
+class TestSmallFloorplan:
+    def test_shape(self, small_floorplan):
+        assert small_floorplan.n_cores == 2
+        assert small_floorplan.n_blocks == 12
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            make_small_floorplan(n_cores=0)
+
+    def test_valid_floorplan_invariants(self, small_floorplan):
+        # construction already validates, but double-check key facts
+        assert small_floorplan.blank_area > 0
+        assert small_floorplan.function_area > 0
