@@ -31,11 +31,13 @@ numerical residues instead of exact zeros).
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.obs import get_registry, span
 from repro.utils.validation import check_matrix, check_non_negative, check_positive
 
 __all__ = ["GroupLassoResult", "group_lasso_penalized", "group_lasso_constrained"]
@@ -61,6 +63,10 @@ class GroupLassoResult:
         Block-coordinate sweeps performed.
     converged:
         Whether the sweep-to-sweep tolerance was met.
+    final_residual:
+        Relative coefficient change at the last iteration (the
+        convergence criterion value); 0.0 for solves that needed no
+        iterations.
     """
 
     coef: np.ndarray
@@ -69,6 +75,7 @@ class GroupLassoResult:
     objective: float = float("nan")
     n_iterations: int = 0
     converged: bool = True
+    final_residual: float = 0.0
 
     def group_norms(self) -> np.ndarray:
         """``(M,)`` column norms ``||beta_m||_2`` (the Fig. 1 quantity)."""
@@ -189,7 +196,7 @@ def _fista(
     mu: float,
     max_iter: int,
     tol: float,
-) -> Tuple[np.ndarray, int, bool]:
+) -> Tuple[np.ndarray, int, bool, float]:
     """FISTA with adaptive restart for the penalized group lasso.
 
     Minimizes ``f(B) = 1/2 tr(B S B^T) - tr(B A) + mu * sum ||B_m||``
@@ -205,6 +212,7 @@ def _fista(
     t_prev = 1.0
     converged = False
     iterations = 0
+    residual = 0.0
     for it in range(max_iter):
         iterations = it + 1
         grad = Y @ S - AT
@@ -228,10 +236,11 @@ def _fista(
         t_prev = t_new
 
         scale = max(1.0, float(np.max(np.abs(B))) if B.size else 1.0)
-        if float(np.max(np.abs(delta))) <= tol * scale:
+        residual = float(np.max(np.abs(delta))) / scale if delta.size else 0.0
+        if residual <= tol:
             converged = True
             break
-    return B, iterations, converged
+    return B, iterations, converged, residual
 
 
 def group_lasso_penalized(
@@ -300,8 +309,10 @@ def group_lasso_penalized(
     else:
         B = np.zeros((n_responses, n_features))
 
+    registry = get_registry()
+    _t0 = _time.perf_counter() if registry.enabled else 0.0
     if method == "fista":
-        B, sweeps, converged = _fista(B, S, A.T.copy(), mu, max_iter, tol)
+        B, sweeps, converged, residual = _fista(B, S, A.T.copy(), mu, max_iter, tol)
         # Zero out sub-threshold residues so inactive groups are exactly
         # zero, matching the BCD sparsity pattern.  At the optimum,
         # inactive groups satisfy ||grad_m|| <= mu strictly; their FISTA
@@ -314,11 +325,13 @@ def group_lasso_penalized(
         all_groups = np.arange(n_features)
         converged = False
         sweeps = 0
+        residual = 0.0
         while sweeps < max_iter:
             # Full sweep: may activate/deactivate any group.
             delta = _sweep(B, all_groups, S, A, diag_S, mu)
             sweeps += 1
             scale = max(1.0, float(np.max(np.abs(B))) if B.size else 1.0)
+            residual = delta / scale
             if delta <= tol * scale:
                 converged = True
                 break
@@ -330,8 +343,16 @@ def group_lasso_penalized(
                 delta = _sweep(B, active, S, A, diag_S, mu)
                 sweeps += 1
                 scale = max(1.0, float(np.max(np.abs(B))))
+                residual = delta / scale
                 if delta <= tol * scale:
                     break
+
+    if registry.enabled:
+        registry.timer("group_lasso.penalized").record(
+            _time.perf_counter() - _t0
+        )
+        registry.counter("group_lasso.solves").inc()
+        registry.counter("group_lasso.iterations").inc(sweeps)
 
     active = np.nonzero(np.linalg.norm(B, axis=0) > 0)[0]
     return GroupLassoResult(
@@ -340,6 +361,7 @@ def group_lasso_penalized(
         objective=_objective(B, S, A, gram_G, mu, active),
         n_iterations=sweeps,
         converged=converged,
+        final_residual=residual,
     )
 
 
@@ -382,7 +404,54 @@ def group_lasso_constrained(
     ``mu`` therefore converges to the budget-binding solution.  If even
     a vanishing penalty uses less than the budget, the constraint is
     slack and the (essentially unpenalized) solution is returned.
+
+    Each call emits one ``group_lasso.constrained`` event on the active
+    observability registry carrying the budget (lambda), the dual
+    penalty, the returned solve's iteration count and final residual,
+    and the total iterations spent along the warm-started path.
     """
+    registry = get_registry()
+    if not registry.enabled:
+        return _constrained(
+            Z, G, budget, rtol, max_bisections, solver_max_iter, solver_tol,
+            method,
+        )
+    with span("fit.group_lasso", budget=float(budget)) as sp:
+        iters_before = registry.counter("group_lasso.iterations").value
+        result = _constrained(
+            Z, G, budget, rtol, max_bisections, solver_max_iter, solver_tol,
+            method,
+        )
+        total_iterations = (
+            registry.counter("group_lasso.iterations").value - iters_before
+        )
+        n_active = int(result.active_groups().shape[0])
+        sp.set_attribute("iterations", result.n_iterations)
+        sp.set_attribute("n_active", n_active)
+        registry.event(
+            "group_lasso.constrained",
+            budget=float(budget),
+            penalty=result.penalty,
+            iterations=result.n_iterations,
+            total_iterations=total_iterations,
+            final_residual=result.final_residual,
+            converged=result.converged,
+            n_active=n_active,
+        )
+    return result
+
+
+def _constrained(
+    Z: np.ndarray,
+    G: np.ndarray,
+    budget: float,
+    rtol: float,
+    max_bisections: int,
+    solver_max_iter: int,
+    solver_tol: float,
+    method: str,
+) -> GroupLassoResult:
+    """The actual constrained solve (see :func:`group_lasso_constrained`)."""
     check_positive(budget, "budget")
     Z = check_matrix(Z, "Z")
     G = check_matrix(G, "G", n_rows=Z.shape[0])

@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import get_registry, span
 from repro.core.pipeline import PipelineConfig, PlacementModel, fit_placement
 from repro.voltage.dataset import VoltageDataset
 from repro.voltage.metrics import max_absolute_error, mean_relative_error
@@ -91,20 +92,29 @@ def sweep_lambda(
 
     points: List[SweepPoint] = []
     n_cores = max(1, len(dataset.core_ids))
+    registry = get_registry()
     for budget in budgets:
         config = replace(base_config, budget=float(budget))
-        model = fit_placement(train, config)
-        pred = model.predict(test.X)
-        points.append(
-            SweepPoint(
-                budget=float(budget),
-                n_sensors_total=model.n_sensors,
-                sensors_per_core=model.n_sensors / n_cores,
-                relative_error=mean_relative_error(pred, test.F),
-                max_abs_error=max_absolute_error(pred, test.F),
-                model=model,
-            )
+        with span("sweep.fit", budget=float(budget)):
+            model = fit_placement(train, config)
+        with span("sweep.predict", budget=float(budget)):
+            pred = model.predict(test.X)
+        point = SweepPoint(
+            budget=float(budget),
+            n_sensors_total=model.n_sensors,
+            sensors_per_core=model.n_sensors / n_cores,
+            relative_error=mean_relative_error(pred, test.F),
+            max_abs_error=max_absolute_error(pred, test.F),
+            model=model,
         )
+        registry.event(
+            "lambda_sweep.point",
+            budget=point.budget,
+            n_sensors=point.n_sensors_total,
+            relative_error=point.relative_error,
+            max_abs_error=point.max_abs_error,
+        )
+        points.append(point)
     return points
 
 

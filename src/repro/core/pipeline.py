@@ -15,11 +15,13 @@ blocks is also provided.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 from typing import List
 
 import numpy as np
 
+from repro.obs import get_registry, span
 from repro.core.predictor import VoltagePredictor
 from repro.core.selection import DEFAULT_THRESHOLD, SelectionResult, select_sensors
 from repro.voltage.dataset import VoltageDataset
@@ -142,6 +144,8 @@ class PlacementModel:
 
         Returns ``(N, K)`` predictions in dataset block-column order.
         """
+        registry = get_registry()
+        _t0 = _time.perf_counter() if registry.enabled else 0.0
         X = np.asarray(X, dtype=float)
         if X.ndim == 1:
             X = X[np.newaxis, :]
@@ -156,6 +160,11 @@ class PlacementModel:
             raise RuntimeError(
                 f"{missing} block columns are not covered by any scope"
             )
+        if registry.enabled:
+            registry.timer("predict.placement").record(
+                _time.perf_counter() - _t0
+            )
+            registry.counter("predict.samples").inc(X.shape[0])
         return out
 
     def alarm(self, X: np.ndarray, threshold: float) -> np.ndarray:
@@ -177,22 +186,31 @@ def _fit_scope(
     """Run selection + OLS refit for one scope."""
     X = dataset.X[:, candidate_cols]
     F = dataset.F[:, block_cols]
-    selection = select_sensors(
-        X,
-        F,
-        budget=config.budget,
-        threshold=config.threshold,
-        rtol=config.rtol,
-        solver_max_iter=config.solver_max_iter,
-        solver_tol=config.solver_tol,
-        method=config.method,
-    )
-    predictor = VoltagePredictor.fit(
-        X,
-        F,
-        selected=selection.selected,
-        sensor_nodes=dataset.candidate_nodes[candidate_cols[selection.selected]],
-    )
+    with span(
+        "fit.scope",
+        core=core_index,
+        n_candidates=int(candidate_cols.size),
+        n_blocks=int(block_cols.size),
+    ) as sp:
+        selection = select_sensors(
+            X,
+            F,
+            budget=config.budget,
+            threshold=config.threshold,
+            rtol=config.rtol,
+            solver_max_iter=config.solver_max_iter,
+            solver_tol=config.solver_tol,
+            method=config.method,
+        )
+        predictor = VoltagePredictor.fit(
+            X,
+            F,
+            selected=selection.selected,
+            sensor_nodes=dataset.candidate_nodes[
+                candidate_cols[selection.selected]
+            ],
+        )
+        sp.set_attribute("n_selected", selection.n_selected)
     return ScopeModel(
         core_index=core_index,
         candidate_cols=candidate_cols,
@@ -223,27 +241,31 @@ def fit_placement(dataset: VoltageDataset, config: PipelineConfig) -> PlacementM
         candidates to select from.
     """
     scopes: List[ScopeModel] = []
-    if config.per_core:
-        for core in dataset.core_ids:
-            candidate_cols, block_cols = dataset.core_view(core)
-            if block_cols.size == 0:
-                continue
-            if candidate_cols.size == 0:
-                raise ValueError(
-                    f"core {core} has {block_cols.size} blocks but no "
-                    "sensor candidates; use a finer grid or global mode"
+    with span(
+        "fit.placement", budget=config.budget, per_core=config.per_core
+    ) as sp:
+        if config.per_core:
+            for core in dataset.core_ids:
+                candidate_cols, block_cols = dataset.core_view(core)
+                if block_cols.size == 0:
+                    continue
+                if candidate_cols.size == 0:
+                    raise ValueError(
+                        f"core {core} has {block_cols.size} blocks but no "
+                        "sensor candidates; use a finer grid or global mode"
+                    )
+                scopes.append(
+                    _fit_scope(dataset, core, candidate_cols, block_cols, config)
                 )
+        else:
             scopes.append(
-                _fit_scope(dataset, core, candidate_cols, block_cols, config)
+                _fit_scope(
+                    dataset,
+                    -1,
+                    np.arange(dataset.n_candidates),
+                    np.arange(dataset.n_blocks),
+                    config,
+                )
             )
-    else:
-        scopes.append(
-            _fit_scope(
-                dataset,
-                -1,
-                np.arange(dataset.n_candidates),
-                np.arange(dataset.n_blocks),
-                config,
-            )
-        )
+        sp.set_attribute("n_sensors", sum(s.n_sensors for s in scopes))
     return PlacementModel(scopes=scopes, config=config, n_blocks=dataset.n_blocks)

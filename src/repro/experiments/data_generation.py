@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import get_registry, span
 from repro.experiments.config import ChipConfig, DataConfig, ExperimentSetup
 from repro.floorplan.candidates import NodeClassification, classify_nodes
 from repro.floorplan.floorplan import Floorplan
@@ -83,6 +84,13 @@ class ChipModel:
 
 def build_chip(config: ChipConfig) -> ChipModel:
     """Construct floorplan, grid, classification and solver for a config."""
+    with span(
+        "datagen.build_chip", template=config.template, n_cores=config.n_cores
+    ):
+        return _build_chip(config)
+
+
+def _build_chip(config: ChipConfig) -> ChipModel:
     template = XEON_CORE_TEMPLATE if config.template == "xeon" else SMALL_CORE_TEMPLATE
     if config.template == "small":
         floorplan = make_xeon_e5_floorplan(
@@ -172,8 +180,18 @@ def generate_maps(
     labels: List[np.ndarray] = []
     times: List[np.ndarray] = []
     names = list(data.benchmarks)
+    registry = get_registry()
     for idx, benchmark in enumerate(names):
-        v, t = _simulate_one(chip, benchmark, data)
+        with span("datagen.benchmark", benchmark=benchmark) as sp:
+            v, t = _simulate_one(chip, benchmark, data)
+            sp.set_attribute("n_maps", int(v.shape[0]))
+        registry.event(
+            "datagen.benchmark",
+            benchmark=benchmark,
+            n_maps=int(v.shape[0]),
+            n_steps=data.steps_per_benchmark,
+            min_voltage=float(v.min()),
+        )
         volts.append(v)
         labels.append(np.full(v.shape[0], idx, dtype=np.int64))
         times.append(t)
@@ -298,28 +316,33 @@ def generate_dataset(
     verbose:
         Print per-benchmark progress.
     """
-    chip = build_chip(setup.chip)
-    if verbose:
-        print(chip.floorplan.summary())
-        print(chip.grid.summary())
+    with span("datagen.dataset", profile=setup.name) as sp:
+        chip = build_chip(setup.chip)
+        if verbose:
+            print(chip.floorplan.summary())
+            print(chip.grid.summary())
 
-    if verbose:
-        print("simulating training benchmarks...")
-    train_pool = generate_maps(chip, setup.train, verbose=verbose)
-    n_train = min(setup.train.n_samples, train_pool.n_samples)
-    train_maps = sample_maps(train_pool, n_train, rng=setup.train.seed)
-    critical = select_critical_nodes(train_maps.voltages, chip.classification)
-    train_ds = build_dataset(chip, train_maps, critical)
-    del train_pool, train_maps
+        if verbose:
+            print("simulating training benchmarks...")
+        with span("datagen.train_maps"):
+            train_pool = generate_maps(chip, setup.train, verbose=verbose)
+        n_train = min(setup.train.n_samples, train_pool.n_samples)
+        train_maps = sample_maps(train_pool, n_train, rng=setup.train.seed)
+        critical = select_critical_nodes(train_maps.voltages, chip.classification)
+        train_ds = build_dataset(chip, train_maps, critical)
+        del train_pool, train_maps
 
-    if verbose:
-        print("simulating evaluation benchmarks...")
-    eval_pool = generate_maps(chip, setup.eval, verbose=verbose)
-    n_eval = min(setup.eval.n_samples, eval_pool.n_samples)
-    eval_maps = sample_maps(eval_pool, n_eval, rng=setup.eval.seed)
-    eval_ds = build_dataset(chip, eval_maps, critical)
-    del eval_pool, eval_maps
+        if verbose:
+            print("simulating evaluation benchmarks...")
+        with span("datagen.eval_maps"):
+            eval_pool = generate_maps(chip, setup.eval, verbose=verbose)
+        n_eval = min(setup.eval.n_samples, eval_pool.n_samples)
+        eval_maps = sample_maps(eval_pool, n_eval, rng=setup.eval.seed)
+        eval_ds = build_dataset(chip, eval_maps, critical)
+        del eval_pool, eval_maps
 
+        sp.set_attribute("n_train", train_ds.n_samples)
+        sp.set_attribute("n_eval", eval_ds.n_samples)
     return GeneratedData(chip=chip, train=train_ds, eval=eval_ds, critical=critical)
 
 

@@ -5,9 +5,14 @@ Usage::
     python -m repro.experiments.runner all
     python -m repro.experiments.runner table1 fig3 --fast
     repro-experiments table2 --out results/
+    repro-experiments fig1 --fast --trace-out manifest.json
 
 Each experiment prints a paper-style rendering and (with ``--out``)
-persists its numbers as JSON for later inspection.
+persists its numbers as JSON for later inspection.  Every run is
+instrumented through :mod:`repro.obs`: an end-of-run timing summary is
+printed, ``--trace-out`` writes a run manifest (profile, per-experiment
+span timings, dataset summary, group-lasso convergence stats), and
+``--trace-jsonl`` streams every structured event as JSON lines.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import sys
 import time
 from typing import Dict, List, Optional
 
+import repro.obs as obs
 from repro.experiments import ablations, extensions
 from repro.experiments.config import FAST_SETUP, PAPER_SETUP, ExperimentSetup
 from repro.experiments.data_generation import GeneratedData, generate_dataset
@@ -30,11 +36,6 @@ from repro.experiments.table2_error_rates import render_table2, run_table2
 from repro.utils.io import save_results, to_jsonable
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
-
-# The extensions experiment regenerates its own datasets (it varies the
-# chip and dataset-construction options), so the runner records which
-# profile to hand it.
-_SETUP_FOR_EXTENSIONS = None
 
 EXPERIMENTS = (
     "fig1",
@@ -54,9 +55,36 @@ def _result_payload(name: str, obj) -> Dict:
 
 
 def run_experiment(
-    name: str, data: GeneratedData, out_dir: Optional[str] = None
+    name: str,
+    data: GeneratedData,
+    out_dir: Optional[str] = None,
+    setup: Optional[ExperimentSetup] = None,
 ) -> str:
-    """Run one experiment by name; returns its rendered report."""
+    """Run one experiment by name; returns its rendered report.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`EXPERIMENTS`.
+    data:
+        The pre-generated train/eval datasets.
+    out_dir:
+        Optional directory for the experiment's JSON payload.
+    setup:
+        The profile the run uses.  Only the ``extensions`` experiment
+        needs it (it regenerates its own datasets while varying the
+        chip); defaults to :data:`FAST_SETUP` when omitted.
+    """
+    with obs.span(f"experiment.{name}"):
+        return _run_experiment(name, data, out_dir, setup)
+
+
+def _run_experiment(
+    name: str,
+    data: GeneratedData,
+    out_dir: Optional[str],
+    setup: Optional[ExperimentSetup],
+) -> str:
     t0 = time.time()
     if name == "fig1":
         result = run_fig1(data)
@@ -132,12 +160,13 @@ def run_experiment(
             "grouping": grouping,
         }
     elif name == "extensions":
-        fa = extensions.run_fa_sensor_extension(_SETUP_FOR_EXTENSIONS or FAST_SETUP)
+        ext_setup = setup if setup is not None else FAST_SETUP
+        fa = extensions.run_fa_sensor_extension(ext_setup)
         multi = extensions.run_multi_node_extension(
-            _SETUP_FOR_EXTENSIONS or FAST_SETUP, nodes_per_block=(1, 2)
+            ext_setup, nodes_per_block=(1, 2)
         )
         pads = extensions.run_pad_sensitivity(
-            _SETUP_FOR_EXTENSIONS or FAST_SETUP,
+            ext_setup,
             inductances=(10e-12, 50e-12, 150e-12),
         )
         text = "\n\n".join(
@@ -186,6 +215,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="after running, aggregate --out JSONs into REPORT.md",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="MANIFEST.json",
+        help="write a run manifest (per-experiment timings, dataset "
+        "summary, solver convergence stats) to this JSON file",
+    )
+    parser.add_argument(
+        "--trace-jsonl",
+        default=None,
+        metavar="EVENTS.jsonl",
+        help="stream structured events (solver convergence, datagen "
+        "progress, monitor emergencies) as JSON lines to this file",
+    )
     args = parser.parse_args(argv)
     if args.report and args.out is None:
         parser.error("--report requires --out")
@@ -196,21 +239,46 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(f"unknown experiment {name!r}")
 
     setup: ExperimentSetup = FAST_SETUP if args.fast else PAPER_SETUP
-    global _SETUP_FOR_EXTENSIONS
-    _SETUP_FOR_EXTENSIONS = setup
-    print(f"profile: {setup.name}")
-    t0 = time.time()
-    data = generate_dataset(setup, verbose=True)
-    print(f"data generated in {time.time() - t0:.1f}s: {data.train.summary()}")
+    sink: Optional[obs.JsonlSink] = None
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        if args.trace_jsonl is not None:
+            sink = obs.JsonlSink(args.trace_jsonl)
+            registry.add_sink(sink)
+        print(f"profile: {setup.name}")
+        t0 = time.time()
+        data = generate_dataset(setup, verbose=True)
+        print(f"data generated in {time.time() - t0:.1f}s: {data.train.summary()}")
 
-    for name in names:
-        print("\n" + "=" * 78)
-        print(run_experiment(name, data, out_dir=args.out))
-    if args.report:
-        from repro.experiments.report import write_report
+        try:
+            for name in names:
+                print("\n" + "=" * 78)
+                print(run_experiment(name, data, out_dir=args.out, setup=setup))
+        finally:
+            if sink is not None:
+                sink.close()
 
-        path = write_report(args.out, title=f"Reproduction run ({setup.name})")
-        print(f"\nreport written to {path}")
+        if args.report:
+            from repro.experiments.report import write_report
+
+            path = write_report(args.out, title=f"Reproduction run ({setup.name})")
+            print(f"\nreport written to {path}")
+
+        if args.trace_out is not None:
+            manifest = obs.build_manifest(
+                registry,
+                profile=setup.name,
+                dataset={
+                    "train": data.train.summary(),
+                    "eval": data.eval.summary(),
+                    "n_train": data.train.n_samples,
+                    "n_eval": data.eval.n_samples,
+                },
+                extra={"experiments_requested": names},
+            )
+            save_results(args.trace_out, manifest)
+            print(f"\ntrace manifest written to {args.trace_out}")
+
+        print("\n" + obs.render_timing_summary(registry))
     return 0
 
 

@@ -13,11 +13,13 @@ dynamic-noise-management examples and tests consume.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.obs import Timer, TimerSummary, get_registry
 from repro.core.pipeline import PlacementModel
 from repro.utils.validation import check_integer, check_positive
 
@@ -63,12 +65,16 @@ class MonitorStats:
         Completed alarm episodes.
     min_predicted:
         Deepest prediction seen overall (V).
+    step_latency:
+        Percentile summary of per-:meth:`VoltageMonitor.step` wall
+        times, populated by :meth:`VoltageMonitor.finish`.
     """
 
     cycles: int = 0
     alarm_cycles: int = 0
     events: int = 0
     min_predicted: float = float("inf")
+    step_latency: Optional[TimerSummary] = None
 
 
 class VoltageMonitor:
@@ -103,6 +109,7 @@ class VoltageMonitor:
         self.on_emergency = on_emergency
         self.stats = MonitorStats()
         self.events: List[EmergencyEvent] = []
+        self._latency = Timer("monitor.step")
         self._below_streak = 0
         self._alarm_active = False
         self._episode_start = 0
@@ -124,6 +131,7 @@ class VoltageMonitor:
             ``(M,)`` candidate-voltage vector; only the model's sensor
             columns are read (the physical measurements).
         """
+        t0 = _time.perf_counter()
         pred = self.model.predict(candidate_voltages)[0]
         v_min = float(pred.min())
         block = int(np.argmin(pred))
@@ -151,6 +159,7 @@ class VoltageMonitor:
         if self._alarm_active:
             self.stats.alarm_cycles += 1
         self._cycle += 1
+        self._latency.record(_time.perf_counter() - t0)
         return self._alarm_active
 
     def _close_episode(self, end_cycle: int) -> None:
@@ -164,6 +173,18 @@ class VoltageMonitor:
         self.stats.events += 1
         self._alarm_active = False
         self._below_streak = 0
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("monitor.emergencies").inc()
+            registry.event(
+                "monitor.emergency",
+                start_cycle=event.start_cycle,
+                end_cycle=event.end_cycle,
+                duration=event.duration,
+                min_predicted=event.min_predicted,
+                worst_block=event.worst_block,
+                threshold=self.threshold,
+            )
         if self.on_emergency is not None:
             self.on_emergency(event)
 
@@ -174,8 +195,17 @@ class VoltageMonitor:
             raise ValueError("stream must be (n_cycles, M)")
         return np.array([self.step(row) for row in stream], dtype=bool)
 
+    def latency_summary(self) -> TimerSummary:
+        """Percentile summary of per-step wall times recorded so far."""
+        return self._latency.summary()
+
     def finish(self) -> MonitorStats:
-        """Close any open episode and return the session statistics."""
+        """Close any open episode and return the session statistics.
+
+        Also freezes the per-step latency summary into
+        :attr:`MonitorStats.step_latency`.
+        """
         if self._alarm_active:
             self._close_episode(self._cycle - 1)
+        self.stats.step_latency = self._latency.summary()
         return self.stats

@@ -1,0 +1,353 @@
+"""Metrics primitives: counters, gauges, and timer-histograms.
+
+The registry is the aggregation point of the observability subsystem
+(:mod:`repro.obs`): library code asks it for named instruments and
+records into them; reporting code takes a :meth:`MetricsRegistry.snapshot`
+or renders the timers as an ASCII table.
+
+Two registry modes exist:
+
+* **enabled** — instruments record normally; spans and events are kept.
+* **disabled** (the *null* mode) — every accessor returns a shared
+  no-op instrument and every record is dropped, so instrumented hot
+  paths cost a single attribute check when observability is off.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "TimerSummary",
+    "MetricsRegistry",
+]
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1) to the counter."""
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level of the tracked quantity."""
+        self.value = float(value)
+
+
+@dataclass(frozen=True)
+class TimerSummary:
+    """Percentile summary of a timer's recorded durations (seconds)."""
+
+    count: int
+    total: float
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p99: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict form for JSON payloads."""
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_s": self.mean,
+            "min_s": self.minimum,
+            "max_s": self.maximum,
+            "p50_s": self.p50,
+            "p90_s": self.p90,
+            "p99_s": self.p99,
+        }
+
+
+_EMPTY_SUMMARY = TimerSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+class Timer:
+    """A duration histogram with exact count/total/min/max.
+
+    Percentiles are computed from a bounded sample reservoir: count,
+    total, min and max are always exact, but once more than
+    ``max_samples`` durations have been recorded the reservoir keeps a
+    deterministic systematic subsample (every ``stride``-th record), so
+    long monitoring sessions cannot grow memory without bound.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum",
+                 "_samples", "_max_samples", "_stride", "_phase")
+
+    def __init__(self, name: str, max_samples: int = 4096) -> None:
+        if max_samples < 2:
+            raise ValueError("max_samples must be >= 2")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = 0.0
+        self._samples: List[float] = []
+        self._max_samples = max_samples
+        self._stride = 1
+        self._phase = 0
+
+    def record(self, seconds: float) -> None:
+        """Record one duration (in seconds)."""
+        seconds = float(seconds)
+        self.count += 1
+        self.total += seconds
+        if seconds < self.minimum:
+            self.minimum = seconds
+        if seconds > self.maximum:
+            self.maximum = seconds
+        self._phase += 1
+        if self._phase >= self._stride:
+            self._phase = 0
+            self._samples.append(seconds)
+            if len(self._samples) >= self._max_samples:
+                # Thin the reservoir: keep every other sample, double
+                # the stride for future records.
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    def time(self) -> "_TimerContext":
+        """Context manager recording the wall time of its body."""
+        return _TimerContext(self)
+
+    def percentile(self, p: float) -> float:
+        """Approximate p-th percentile (0..100) of recorded durations."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        if p <= 0:
+            return ordered[0]
+        if p >= 100:
+            return ordered[-1]
+        rank = (len(ordered) - 1) * (p / 100.0)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def summary(self) -> TimerSummary:
+        """Aggregate + percentile summary of everything recorded."""
+        if self.count == 0:
+            return _EMPTY_SUMMARY
+        return TimerSummary(
+            count=self.count,
+            total=self.total,
+            mean=self.total / self.count,
+            minimum=self.minimum,
+            maximum=self.maximum,
+            p50=self.percentile(50),
+            p90=self.percentile(90),
+            p99=self.percentile(99),
+        )
+
+
+class _TimerContext:
+    """Times a ``with`` body into a :class:`Timer`."""
+
+    __slots__ = ("_timer", "_t0")
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+
+    def __enter__(self) -> Timer:
+        self._t0 = time.perf_counter()
+        return self._timer
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._timer.record(time.perf_counter() - self._t0)
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument of a null registry."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+    count = 0
+    total = 0.0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def record(self, seconds: float) -> None:
+        pass
+
+    def time(self) -> "_NullInstrument":
+        return self
+
+    def percentile(self, p: float) -> float:
+        return 0.0
+
+    def summary(self) -> TimerSummary:
+        return _EMPTY_SUMMARY
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named instruments + span log + structured event stream.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` the registry is a *null* registry: every
+        accessor returns a shared no-op instrument, events are dropped,
+        and :func:`repro.obs.span` bodies run untimed.  Instrumented
+        code should branch on :attr:`enabled` before doing any per-call
+        work beyond the registry lookup.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, Timer] = {}
+        #: Completed span records, in finish order (see repro.obs.tracing).
+        self.spans: List[Any] = []
+        #: Structured events, in emit order.
+        self.events: List[Dict[str, Any]] = []
+        self._sinks: List[Any] = []
+        self._epoch = time.perf_counter()
+        self._event_seq = 0
+
+    # -- instrument accessors -------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        if not self.enabled:
+            return _NULL_INSTRUMENT  # type: ignore[return-value]
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        if not self.enabled:
+            return _NULL_INSTRUMENT  # type: ignore[return-value]
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def timer(self, name: str) -> Timer:
+        """Get or create the timer ``name``."""
+        if not self.enabled:
+            return _NULL_INSTRUMENT  # type: ignore[return-value]
+        with self._lock:
+            inst = self._timers.get(name)
+            if inst is None:
+                inst = self._timers[name] = Timer(name)
+        return inst
+
+    def time(self, name: str):
+        """Context manager timing its body into ``timer(name)``."""
+        return self.timer(name).time()
+
+    # -- events ----------------------------------------------------------
+
+    def add_sink(self, sink: Any) -> None:
+        """Attach an event sink (an object with ``emit(event_dict)``)."""
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Any) -> None:
+        """Detach a previously attached sink (no-op when absent)."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record a structured event and forward it to all sinks.
+
+        Each event is a flat dict with reserved keys ``event`` (the
+        name), ``seq`` (emit order) and ``t_s`` (seconds since the
+        registry was created), plus the caller's ``fields``.
+        """
+        if not self.enabled:
+            return
+        record = {
+            "event": name,
+            "seq": self._event_seq,
+            "t_s": time.perf_counter() - self._epoch,
+        }
+        record.update(fields)
+        self._event_seq += 1
+        self.events.append(record)
+        for sink in self._sinks:
+            sink.emit(record)
+
+    def events_named(self, name: str) -> List[Dict[str, Any]]:
+        """All recorded events with ``event == name``, in emit order."""
+        return [e for e in self.events if e.get("event") == name]
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the registry was created."""
+        return time.perf_counter() - self._epoch
+
+    def timer_summaries(self) -> Dict[str, TimerSummary]:
+        """Name -> summary for every timer, in creation order."""
+        return {name: t.summary() for name, t in self._timers.items()}
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready dump of all counters, gauges and timer summaries."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "timers": {
+                n: t.summary().as_dict() for n, t in self._timers.items()
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop all instruments, spans and events (sinks are kept)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+            self.spans.clear()
+            self.events.clear()
+            self._event_seq = 0
+            self._epoch = time.perf_counter()

@@ -1,0 +1,186 @@
+"""Nested tracing spans.
+
+A *span* wraps one logical operation — a group-lasso fit, a benchmark
+transient simulation, one whole experiment — and records its wall time,
+CPU time and caller-provided attributes into the active
+:class:`~repro.obs.metrics.MetricsRegistry`.  Spans nest: the span
+stack is tracked per thread, and each finished record keeps its depth
+and parent name, so a run manifest can reconstruct the call tree.
+
+Usage::
+
+    from repro.obs import span
+
+    with span("fit.group_lasso", budget=1.0) as sp:
+        result = solve(...)
+        sp.set_attribute("iterations", result.n_iterations)
+
+On a disabled (null) registry, :func:`span` yields a shared no-op span
+and records nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from contextlib import contextmanager
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["SpanRecord", "Span", "span", "current_span"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span.
+
+    Attributes
+    ----------
+    name:
+        Span name (dotted, e.g. ``"fit.group_lasso"``).
+    start_s:
+        Start offset in seconds relative to the registry's epoch.
+    wall_s, cpu_s:
+        Wall-clock and process-CPU duration of the span body.
+    depth:
+        Nesting depth (0 = top-level) on the recording thread.
+    parent:
+        Name of the enclosing span, or ``None`` at top level.
+    status:
+        ``"ok"``, or ``"error"`` when the body raised.
+    attributes:
+        Caller-provided key/value annotations.
+    """
+
+    name: str
+    start_s: float
+    wall_s: float
+    cpu_s: float
+    depth: int
+    parent: Optional[str]
+    status: str
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON payloads."""
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "depth": self.depth,
+            "parent": self.parent,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+        }
+
+
+class Span:
+    """A live (open) span; set attributes on it inside the ``with``."""
+
+    __slots__ = ("name", "attributes")
+
+    def __init__(self, name: str, attributes: Dict[str, Any]) -> None:
+        self.name = name
+        self.attributes = attributes
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Annotate the span; shows up in the finished record."""
+        self.attributes[key] = value
+
+
+class _NullSpan:
+    """Shared no-op span yielded when observability is disabled."""
+
+    __slots__ = ()
+    name = "null"
+    attributes: Dict[str, Any] = {}
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+_STACK = threading.local()
+
+
+def _stack() -> List[Span]:
+    stack = getattr(_STACK, "spans", None)
+    if stack is None:
+        stack = _STACK.spans = []
+    return stack
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span on this thread (``None`` outside spans)."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def span(
+    name: str,
+    registry: Optional[MetricsRegistry] = None,
+    **attributes: Any,
+) -> Iterator[Span]:
+    """Open a traced span around the ``with`` body.
+
+    Parameters
+    ----------
+    name:
+        Span name; also the timer key, so every span series gets a
+        percentile summary in the registry for free.
+    registry:
+        Explicit registry; defaults to the process-global one
+        (:func:`repro.obs.get_registry`).
+    **attributes:
+        Initial annotations recorded on the span.
+
+    Yields
+    ------
+    Span
+        The open span (a shared no-op span when disabled).
+    """
+    if registry is None:
+        from repro.obs import get_registry
+
+        registry = get_registry()
+    if not registry.enabled:
+        yield _NULL_SPAN  # type: ignore[misc]
+        return
+
+    stack = _stack()
+    sp = Span(name, dict(attributes))
+    parent = stack[-1].name if stack else None
+    depth = len(stack)
+    stack.append(sp)
+    start_s = time.perf_counter() - registry._epoch
+    t0 = time.perf_counter()
+    c0 = time.process_time()
+    status = "ok"
+    try:
+        yield sp
+    except BaseException:
+        status = "error"
+        raise
+    finally:
+        wall = time.perf_counter() - t0
+        cpu = time.process_time() - c0
+        stack.pop()
+        registry.spans.append(
+            SpanRecord(
+                name=name,
+                start_s=start_s,
+                wall_s=wall,
+                cpu_s=cpu,
+                depth=depth,
+                parent=parent,
+                status=status,
+                attributes=sp.attributes,
+            )
+        )
+        registry.timer(name).record(wall)

@@ -8,6 +8,7 @@ be re-rendered or diffed without recomputation.
 from __future__ import annotations
 
 import json
+import math
 import os
 from dataclasses import asdict, is_dataclass
 from typing import Any, Dict, Optional
@@ -29,6 +30,11 @@ def to_jsonable(obj: Any) -> Any:
     Handles numpy scalars/arrays, dataclasses, dicts, lists and tuples.
     Arrays become nested lists, so keep bulk data out of the JSON path and
     in the ``arrays`` argument of :func:`save_results` instead.
+
+    Non-finite floats (``inf``, ``-inf``, ``nan``) become ``None``:
+    the stdlib encoder would otherwise emit ``Infinity``/``NaN``, which
+    is not valid JSON (e.g. a zero-cycle monitoring session's
+    ``MonitorStats.min_predicted == inf``).
     """
     if is_dataclass(obj) and not isinstance(obj, type):
         return to_jsonable(asdict(obj))
@@ -37,11 +43,12 @@ def to_jsonable(obj: Any) -> Any:
     if isinstance(obj, (list, tuple)):
         return [to_jsonable(v) for v in obj]
     if isinstance(obj, np.ndarray):
-        return obj.tolist()
+        return to_jsonable(obj.tolist())
     if isinstance(obj, (np.integer,)):
         return int(obj)
-    if isinstance(obj, (np.floating,)):
-        return float(obj)
+    if isinstance(obj, (float, np.floating)):
+        value = float(obj)
+        return value if math.isfinite(value) else None
     if isinstance(obj, (np.bool_,)):
         return bool(obj)
     return obj
@@ -66,7 +73,9 @@ def save_results(
     directory = os.path.dirname(os.path.abspath(path))
     ensure_dir(directory)
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(to_jsonable(payload), fh, indent=2, sort_keys=True)
+        json.dump(
+            to_jsonable(payload), fh, indent=2, sort_keys=True, allow_nan=False
+        )
     if arrays:
         np.savez_compressed(path + ".npz", **arrays)
 

@@ -126,3 +126,109 @@ class TestVoltageMonitor:
         stats = mon.finish()
         assert stats.cycles == 50
         assert stats.alarm_cycles == int(flags.sum())
+
+
+class TestDebounceEdgeCases:
+    def test_episode_cycles_with_debounce(self):
+        # With debounce=3, the alarm asserts on the 3rd consecutive
+        # below-threshold cycle, but the episode must be backdated to
+        # the first below-threshold cycle.
+        mon = VoltageMonitor(identity_model(), threshold=0.85, debounce=3)
+        mon.run(
+            np.array(
+                [
+                    [0.9, 0.9],   # 0
+                    [0.84, 0.9],  # 1: below (streak 1)
+                    [0.83, 0.9],  # 2: below (streak 2)
+                    [0.82, 0.9],  # 3: below (streak 3) -> alarm
+                    [0.9, 0.9],   # 4: recovery closes episode at 3
+                ]
+            )
+        )
+        stats = mon.finish()
+        assert stats.events == 1
+        event = mon.events[0]
+        assert (event.start_cycle, event.end_cycle) == (1, 3)
+        assert event.duration == 3
+        assert event.min_predicted == pytest.approx(0.82)
+
+    def test_open_episode_at_finish_with_debounce(self):
+        mon = VoltageMonitor(identity_model(), threshold=0.85, debounce=2)
+        mon.run(np.array([[0.84, 0.9], [0.83, 0.9], [0.82, 0.9]]))
+        assert mon.alarm_active
+        stats = mon.finish()
+        assert not mon.alarm_active
+        assert stats.events == 1
+        event = mon.events[0]
+        assert (event.start_cycle, event.end_cycle) == (0, 2)
+        assert event.min_predicted == pytest.approx(0.82)
+
+    def test_glitch_never_reaches_debounce(self):
+        mon = VoltageMonitor(identity_model(), threshold=0.85, debounce=3)
+        mon.run(
+            np.array(
+                [[0.84, 0.9], [0.84, 0.9], [0.9, 0.9], [0.84, 0.9], [0.9, 0.9]]
+            )
+        )
+        stats = mon.finish()
+        assert stats.events == 0
+        assert stats.alarm_cycles == 0
+        assert stats.step_latency is not None  # latency still tracked
+
+
+class TestStepLatency:
+    def test_latency_stats_populated(self):
+        mon = VoltageMonitor(identity_model(), threshold=0.85)
+        mon.run(np.full((20, 2), 0.9))
+        summary = mon.latency_summary()
+        assert summary.count == 20
+        assert summary.total > 0
+        assert summary.minimum <= summary.p50 <= summary.maximum
+        stats = mon.finish()
+        assert stats.step_latency.count == 20
+
+    def test_zero_cycle_session(self):
+        mon = VoltageMonitor(identity_model(), threshold=0.85)
+        stats = mon.finish()
+        assert stats.step_latency.count == 0
+        assert stats.min_predicted == float("inf")
+
+    def test_stats_serialize_to_strict_json(self):
+        # A zero-cycle session has min_predicted == inf; the stats
+        # dataclass must still serialize to valid JSON.
+        import json
+
+        from repro.utils.io import to_jsonable
+
+        mon = VoltageMonitor(identity_model(), threshold=0.85)
+        payload = to_jsonable(mon.finish())
+        text = json.dumps(payload, allow_nan=False)
+        assert json.loads(text)["min_predicted"] is None
+
+
+class TestEmergencyEventStream:
+    def test_emergencies_emitted_to_registry(self):
+        import repro.obs as obs
+
+        with obs.use_registry(obs.MetricsRegistry()) as reg:
+            mon = VoltageMonitor(identity_model(), threshold=0.85)
+            mon.run(np.array([[0.8, 0.9], [0.9, 0.9], [0.9, 0.78]]))
+            mon.finish()
+        events = reg.events_named("monitor.emergency")
+        assert len(events) == 2
+        assert events[0]["start_cycle"] == 0
+        assert events[0]["min_predicted"] == pytest.approx(0.8)
+        assert events[1]["worst_block"] == 1
+        assert all(e["threshold"] == 0.85 for e in events)
+        assert reg.counter("monitor.emergencies").value == 2
+
+    def test_no_stream_when_disabled(self):
+        import repro.obs as obs
+
+        with obs.use_registry(obs.MetricsRegistry(enabled=False)) as reg:
+            mon = VoltageMonitor(identity_model(), threshold=0.85)
+            mon.run(np.array([[0.8, 0.9]]))
+            stats = mon.finish()
+        assert reg.events == []
+        # Local latency tracking is independent of the global registry.
+        assert stats.step_latency.count == 1

@@ -5,6 +5,7 @@ import os
 
 import pytest
 
+import repro.obs as obs
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 
 
@@ -58,3 +59,45 @@ class TestMoreExperimentBranches:
         assert "Fig. 4" in text
         payload = json.load(open(tmp_path / "fig4.json"))
         assert len(payload["result"]["sensors_per_core"]) >= 2
+
+    def test_no_module_global_setup_handoff(self):
+        # The extensions profile is passed explicitly; the old mutable
+        # module global must be gone.
+        import repro.experiments.runner as runner_mod
+
+        assert not hasattr(runner_mod, "_SETUP_FOR_EXTENSIONS")
+
+
+class TestTracing:
+    def test_run_experiment_records_span_and_solver_stats(self, tiny_data):
+        with obs.use_registry(obs.MetricsRegistry()) as reg:
+            run_experiment("fig1", tiny_data)
+        exp_spans = [s for s in reg.spans if s.name == "experiment.fig1"]
+        assert len(exp_spans) == 1
+        assert exp_spans[0].status == "ok"
+        stats = obs.convergence_stats(reg)
+        assert len(stats) >= 2  # fig1 solves at two lambdas
+        for entry in stats:
+            assert entry["iterations"] >= 0
+            assert "final_residual" in entry
+
+    def test_manifest_from_experiment_run(self, tiny_data, tmp_path):
+        from repro.utils.io import load_results, save_results
+
+        with obs.use_registry(obs.MetricsRegistry()) as reg:
+            run_experiment("fig1", tiny_data)
+            manifest = obs.build_manifest(
+                reg,
+                profile="tiny",
+                dataset={"train": tiny_data.train.summary()},
+            )
+        path = str(tmp_path / "manifest.json")
+        save_results(path, manifest)
+        loaded = load_results(path)
+        assert loaded["profile"] == "tiny"
+        assert loaded["experiments"][0]["experiment"] == "fig1"
+        assert loaded["group_lasso"]
+        budgets = [entry["budget"] for entry in loaded["group_lasso"]]
+        assert len(budgets) == len(set(budgets)) >= 2
+        summary = obs.render_timing_summary(reg)
+        assert "experiment.fig1" in summary

@@ -31,6 +31,36 @@ class TestToJsonable:
         out = to_jsonable(D(x=1, y=np.array([3.0])))
         assert out == {"x": 1, "y": [3.0]}
 
+    def test_non_finite_floats_become_null(self):
+        out = to_jsonable(
+            {
+                "inf": float("inf"),
+                "ninf": float("-inf"),
+                "nan": float("nan"),
+                "np_inf": np.float64("inf"),
+                "finite": 1.5,
+            }
+        )
+        assert out == {
+            "inf": None,
+            "ninf": None,
+            "nan": None,
+            "np_inf": None,
+            "finite": 1.5,
+        }
+        json.dumps(out, allow_nan=False)  # strict JSON
+
+    def test_non_finite_inside_arrays(self):
+        out = to_jsonable(np.array([1.0, np.inf, np.nan]))
+        assert out == [1.0, None, None]
+
+    def test_save_results_with_non_finite(self, tmp_path):
+        # Before the fix this produced invalid JSON ("Infinity").
+        path = str(tmp_path / "r.json")
+        save_results(path, {"min_predicted": float("inf")})
+        with open(path) as fh:
+            assert json.load(fh) == {"min_predicted": None}
+
 
 class TestSaveLoad:
     def test_roundtrip(self, tmp_path):
