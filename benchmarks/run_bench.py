@@ -1,0 +1,248 @@
+"""Benchmark the λ-path engine against the sequential sweep baseline.
+
+Runs :func:`repro.core.lambda_sweep.sweep_lambda` twice over the same
+budgets — once through the shared-Gram, warm-started
+:class:`~repro.core.path_engine.LambdaPathEngine` and once through the
+pre-engine sequential path (``warm_start=False``, ``reuse_gram=False``,
+``probe_tol=None``) — and records wall times, the speedup, and a
+per-budget fidelity report (sensor counts, Jaccard overlap of the
+selected sets, relative errors) to a JSON file.
+
+The committed ``BENCH_sweep.json`` at the repo root was produced by::
+
+    python benchmarks/run_bench.py --out BENCH_sweep.json
+
+CI runs the quick mode as a smoke test::
+
+    python benchmarks/run_bench.py --quick --check-convergence
+
+which skips the slow baseline, fits the engine path only, and exits
+nonzero if any constrained solve failed to converge or returned a
+budget-violating solution.
+
+Profile selection follows the benchmark harness: ``REPRO_PROFILE=paper``
+runs at full paper scale, the default ``fast`` profile runs in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import repro.obs as obs
+from repro.core.lambda_sweep import SweepPoint, sweep_lambda
+from repro.core.pipeline import PipelineConfig
+from repro.experiments.config import FAST_SETUP, PAPER_SETUP
+from repro.experiments.data_generation import generate_dataset
+
+#: The benchmark λ grid: the paper-relevant sparse regime (Table 1
+#: operates at a handful of sensors per core).  Budgets near the OLS
+#: slack bound are deliberately excluded — there the optimum is
+#: degenerate (many interchangeable near-zero groups) and selected sets
+#: are not comparable across solvers; see docs/performance.md.
+FULL_BUDGETS = (0.5, 1.0, 1.5, 2.0, 3.0, 4.0)
+QUICK_BUDGETS = (1.0, 2.0, 3.0)
+
+#: Sweep split seed — fixed so baseline and engine score identically.
+SWEEP_RNG = 0
+
+
+def _solver_problems(points: Sequence[SweepPoint]) -> List[Dict]:
+    """Non-converged or budget-violating scope solves, if any."""
+    problems: List[Dict] = []
+    for point in points:
+        for scope in point.model.scopes:
+            gl = scope.selection.gl_result
+            rtol = point.model.config.rtol
+            if not gl.converged:
+                problems.append(
+                    {
+                        "budget": point.budget,
+                        "core": scope.core_index,
+                        "kind": "not_converged",
+                        "n_iterations": gl.n_iterations,
+                        "final_residual": gl.final_residual,
+                    }
+                )
+            if gl.norm_sum() > gl.budget * (1.0 + rtol) + 1e-12:
+                problems.append(
+                    {
+                        "budget": point.budget,
+                        "core": scope.core_index,
+                        "kind": "budget_violation",
+                        "norm_sum": gl.norm_sum(),
+                        "allowed": gl.budget * (1.0 + rtol),
+                    }
+                )
+    return problems
+
+
+def _point_summary(point: SweepPoint) -> Dict:
+    return {
+        "budget": point.budget,
+        "n_sensors": point.n_sensors_total,
+        "sensors_per_core": point.sensors_per_core,
+        "relative_error": point.relative_error,
+        "max_abs_error": point.max_abs_error,
+        "sensor_cols": point.model.sensor_candidate_cols.tolist(),
+    }
+
+
+def run(
+    budgets: Sequence[float],
+    n_jobs: int = 1,
+    skip_baseline: bool = False,
+    profile: Optional[str] = None,
+) -> Dict:
+    """Run the benchmark and return the JSON-ready report."""
+    profile = profile or os.environ.get("REPRO_PROFILE", "fast").lower()
+    setup = PAPER_SETUP if profile == "paper" else FAST_SETUP
+    t0 = time.perf_counter()
+    data = generate_dataset(setup)
+    datagen_s = time.perf_counter() - t0
+
+    report: Dict = {
+        "profile": setup.name,
+        "budgets": list(budgets),
+        "n_jobs": n_jobs,
+        "datagen_s": datagen_s,
+    }
+
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        t0 = time.perf_counter()
+        engine_points = sweep_lambda(
+            data.train,
+            list(budgets),
+            base_config=PipelineConfig(budget=float(budgets[0])),
+            rng=SWEEP_RNG,
+            n_jobs=n_jobs,
+            warm_start=True,
+        )
+        engine_s = time.perf_counter() - t0
+        counters = {
+            name: value
+            for name, value in registry.snapshot()["counters"].items()
+            if name in ("path.gram_reuse", "sweep.warm_start_hits")
+        }
+
+    report["engine_s"] = engine_s
+    report["counters"] = counters
+    report["engine_points"] = [_point_summary(p) for p in engine_points]
+    problems = _solver_problems(engine_points)
+    report["solver_problems"] = problems
+
+    if not skip_baseline:
+        baseline_config = PipelineConfig(
+            budget=float(budgets[0]), reuse_gram=False, probe_tol=None
+        )
+        with obs.use_registry(obs.MetricsRegistry()):
+            t0 = time.perf_counter()
+            baseline_points = sweep_lambda(
+                data.train,
+                list(budgets),
+                base_config=baseline_config,
+                rng=SWEEP_RNG,
+                warm_start=False,
+            )
+            baseline_s = time.perf_counter() - t0
+        report["baseline_s"] = baseline_s
+        report["speedup"] = baseline_s / engine_s
+        report["baseline_points"] = [_point_summary(p) for p in baseline_points]
+        fidelity = []
+        for base, eng in zip(baseline_points, engine_points):
+            sb = set(base.model.sensor_candidate_cols.tolist())
+            se = set(eng.model.sensor_candidate_cols.tolist())
+            fidelity.append(
+                {
+                    "budget": base.budget,
+                    "n_sensors_baseline": base.n_sensors_total,
+                    "n_sensors_engine": eng.n_sensors_total,
+                    "jaccard": len(sb & se) / max(1, len(sb | se)),
+                    "relative_error_baseline": base.relative_error,
+                    "relative_error_engine": eng.relative_error,
+                }
+            )
+        report["fidelity"] = fidelity
+        problems.extend(_solver_problems(baseline_points))
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the λ-path engine against the sequential "
+        "sweep baseline."
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: fewer budgets, engine only (no slow baseline)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="BENCH_sweep.json",
+        help="write the JSON report to this path",
+    )
+    parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker threads for independent scopes' λ paths",
+    )
+    parser.add_argument(
+        "--check-convergence",
+        action="store_true",
+        help="exit nonzero if any constrained solve failed to converge "
+        "or violated its budget",
+    )
+    args = parser.parse_args(argv)
+    if args.n_jobs < 1:
+        parser.error("--n-jobs must be >= 1")
+
+    budgets = QUICK_BUDGETS if args.quick else FULL_BUDGETS
+    report = run(budgets, n_jobs=args.n_jobs, skip_baseline=args.quick)
+
+    print(f"profile: {report['profile']}  budgets: {report['budgets']}")
+    print(f"engine: {report['engine_s']:.2f}s  counters: {report['counters']}")
+    if "baseline_s" in report:
+        print(
+            f"baseline: {report['baseline_s']:.2f}s  "
+            f"speedup: {report['speedup']:.2f}x"
+        )
+        for row in report["fidelity"]:
+            print(
+                f"  budget={row['budget']:<4g} "
+                f"sensors {row['n_sensors_baseline']}->{row['n_sensors_engine']} "
+                f"jaccard={row['jaccard']:.2f} "
+                f"rel_err {row['relative_error_baseline']:.6f}"
+                f"->{row['relative_error_engine']:.6f}"
+            )
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.out}")
+
+    problems = report["solver_problems"]
+    if problems:
+        print(f"{len(problems)} solver problem(s):")
+        for problem in problems:
+            print(f"  {problem}")
+    if args.check_convergence and problems:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

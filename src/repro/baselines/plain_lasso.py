@@ -16,7 +16,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.group_lasso import _prepare  # shared sufficient statistics
+from repro.core.group_lasso import SufficientStats  # shared sufficient statistics
 from repro.core.normalization import Standardizer
 from repro.utils.validation import check_matrix, check_non_negative, check_positive
 
@@ -86,9 +86,10 @@ def lasso_penalized(
     """
     check_non_negative(mu, "mu")
     check_positive(tol, "tol")
-    S, A, diag_S, _ = _prepare(Z, G)
-    n_features = S.shape[0]
-    n_responses = A.shape[1]
+    stats = SufficientStats.from_arrays(Z, G)
+    S, A, diag_S = stats.S, stats.A, stats.diag_S
+    n_features = stats.n_features
+    n_responses = stats.n_responses
 
     if warm_start is not None:
         B = np.array(warm_start, dtype=float, copy=True)

@@ -14,12 +14,15 @@ Public entry points:
 
 from repro.core.group_lasso import (
     GroupLassoResult,
+    SufficientStats,
+    WarmState,
     group_lasso_constrained,
     group_lasso_penalized,
 )
-from repro.core.lambda_sweep import SweepPoint, sweep_lambda
+from repro.core.lambda_sweep import SweepPoint, fit_for_sensor_count, sweep_lambda
 from repro.core.normalization import Standardizer
 from repro.core.ols import LinearModel, fit_ols
+from repro.core.path_engine import LambdaPathEngine
 from repro.core.pipeline import (
     PipelineConfig,
     PlacementModel,
@@ -27,17 +30,29 @@ from repro.core.pipeline import (
     fit_placement,
 )
 from repro.core.predictor import GLCoefficientPredictor, VoltagePredictor
-from repro.core.selection import DEFAULT_THRESHOLD, SelectionResult, select_sensors
+from repro.core.selection import (
+    DEFAULT_THRESHOLD,
+    SelectionResult,
+    prepare_stats,
+    select_sensors,
+    threshold_selection,
+)
 from repro.core.serialization import load_placement, save_placement
 from repro.core.spacing import enforce_min_spacing
 from repro.core.temporal import TemporalPredictor, history_gain_study, stack_history
 
 __all__ = [
     "GroupLassoResult",
+    "SufficientStats",
+    "WarmState",
     "group_lasso_constrained",
     "group_lasso_penalized",
     "SweepPoint",
     "sweep_lambda",
+    "fit_for_sensor_count",
+    "LambdaPathEngine",
+    "prepare_stats",
+    "threshold_selection",
     "Standardizer",
     "LinearModel",
     "fit_ols",

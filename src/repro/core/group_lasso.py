@@ -40,7 +40,13 @@ import numpy as np
 from repro.obs import get_registry, span
 from repro.utils.validation import check_matrix, check_non_negative, check_positive
 
-__all__ = ["GroupLassoResult", "group_lasso_penalized", "group_lasso_constrained"]
+__all__ = [
+    "GroupLassoResult",
+    "SufficientStats",
+    "WarmState",
+    "group_lasso_penalized",
+    "group_lasso_constrained",
+]
 
 
 @dataclass
@@ -91,17 +97,110 @@ class GroupLassoResult:
         return np.nonzero(self.group_norms() > threshold)[0]
 
 
-def _prepare(Z: np.ndarray, G: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
-    """Validate inputs and compute the sufficient statistics.
+@dataclass
+class SufficientStats:
+    """Sufficient statistics of a group-lasso problem ``(Z, G)``.
 
-    Returns ``(S, A, diag_S, gram_G)`` with ``S = Z^T Z`` (M, M),
-    ``A = Z^T G`` (M, K), and ``gram_G = tr(G^T G)``.
+    Everything the penalized and constrained solvers need that costs
+    O(N·M²) or O(N·M·K) to build: compute once per (Z, G) pair and
+    thread through every solve of a penalty path or budget bisection.
+    Expensive derived quantities (the FISTA step-size bound, the OLS
+    slack-check solution) are computed lazily and cached too.
+
+    Attributes
+    ----------
+    S:
+        ``(M, M)`` Gram matrix ``Z^T Z``.
+    A:
+        ``(M, K)`` cross-products ``Z^T G``.
+    diag_S:
+        ``(M,)`` diagonal of ``S``.
+    gram_G:
+        ``tr(G^T G)`` — the data-dependent constant of the objective.
+    n_samples:
+        Number of rows N the statistics were computed from.
     """
-    Z = check_matrix(Z, "Z")
-    G = check_matrix(G, "G", n_rows=Z.shape[0])
-    S = Z.T @ Z
-    A = Z.T @ G
-    return S, A, np.diag(S).copy(), float(np.sum(G * G))
+
+    S: np.ndarray
+    A: np.ndarray
+    diag_S: np.ndarray
+    gram_G: float
+    n_samples: int
+    _lipschitz: Optional[float] = None
+    _ols_coef: Optional[np.ndarray] = None
+    _ols_norm_sum: float = 0.0
+
+    @classmethod
+    def from_arrays(cls, Z: np.ndarray, G: np.ndarray) -> "SufficientStats":
+        """Validate ``(Z, G)`` and compute the statistics (one Gram)."""
+        Z = check_matrix(Z, "Z")
+        G = check_matrix(G, "G", n_rows=Z.shape[0])
+        S = Z.T @ Z
+        A = Z.T @ G
+        return cls(
+            S=S,
+            A=A,
+            diag_S=np.diag(S).copy(),
+            gram_G=float(np.sum(G * G)),
+            n_samples=Z.shape[0],
+        )
+
+    @property
+    def n_features(self) -> int:
+        """M — number of candidate groups."""
+        return self.S.shape[0]
+
+    @property
+    def n_responses(self) -> int:
+        """K — number of response columns."""
+        return self.A.shape[1]
+
+    @property
+    def mu_max(self) -> float:
+        """Smallest penalty at which the all-zero solution is optimal."""
+        if self.A.size == 0:
+            return 0.0
+        return float(np.max(np.linalg.norm(self.A, axis=1)))
+
+    @property
+    def lipschitz(self) -> float:
+        """Cached spectral bound of ``S`` (the FISTA step-size bound)."""
+        if self._lipschitz is None:
+            self._lipschitz = _spectral_bound(self.S)
+        return self._lipschitz
+
+    def ols(self, Z: np.ndarray, G: np.ndarray) -> Tuple[np.ndarray, float]:
+        """Cached unpenalized least-squares solution and its norm sum.
+
+        ``Z`` and ``G`` must be the arrays the statistics were built
+        from; lstsq on the raw data is better conditioned than solving
+        the normal equations from ``S`` and ``A``.
+        """
+        if self._ols_coef is None:
+            coef_t, *_ = np.linalg.lstsq(Z, G, rcond=None)
+            self._ols_coef = coef_t.T
+            self._ols_norm_sum = float(
+                np.linalg.norm(self._ols_coef, axis=0).sum()
+            )
+        return self._ols_coef, self._ols_norm_sum
+
+
+@dataclass
+class WarmState:
+    """Warm-start seed carried from one constrained solve to the next.
+
+    Attributes
+    ----------
+    coef:
+        ``(K, M)`` coefficients of the previous solve.
+    penalty:
+        The dual penalty ``mu`` the previous solve ended at; the next
+        solve starts its bracketing path there instead of at
+        :attr:`SufficientStats.mu_max`.
+    """
+
+    coef: np.ndarray
+    penalty: float
 
 
 def _objective(
@@ -189,6 +288,138 @@ def _spectral_bound(S: np.ndarray, n_iter: int = 80, seed: int = 0) -> float:
     return 1.05 * lam
 
 
+def _active_refine(
+    S: np.ndarray,
+    A: np.ndarray,
+    diag_S: np.ndarray,
+    mu: float,
+    B0: np.ndarray,
+    tol: float = 1e-9,
+    max_rounds: int = 30,
+    inner_max: int = 60,
+) -> Optional[np.ndarray]:
+    """Refine a near-solution of the penalized problem to high accuracy.
+
+    First-order solvers crawl through their final digits on the
+    ill-conditioned problems the budget bisection probes (the
+    1e-5 -> 1e-7 tail can cost thousands of iterations); this solves
+    the *active-set* problem by a damped Newton method instead.  On
+    the active groups the objective is smooth with Hessian
+    ``kron(S_aa, I_K) + blockdiag(mu (I/n_m - b_m b_m^T / n_m^3))`` —
+    a system of only ``|active| * K`` unknowns, solved directly.
+    Levenberg-style damping is escalated whenever the Newton direction
+    fails to descend (near-singular S blocks), and an Armijo
+    backtracking line search guards each step.  A KKT screen over the
+    inactive groups (``||A_m - S_m B^T|| <= mu``) then activates any
+    violators — seeded with their exact single-group update — and the
+    refinement repeats until the screen is clean.
+
+    Returns the refined ``(K, M)`` coefficients, or ``None`` when the
+    iteration stalls (callers fall back to the first-order solver).
+    """
+    check_positive(mu, "mu")
+    B = np.array(B0, dtype=float, copy=True)
+    n_features = S.shape[0]
+    n_responses = A.shape[1]
+    eye_k = np.eye(n_responses)
+    for _ in range(max_rounds):
+        active = np.nonzero(np.linalg.norm(B, axis=0) > 0)[0]
+        converged_inner = active.size == 0
+        for _ in range(inner_max):
+            if active.size == 0:
+                converged_inner = True
+                break
+            Ba = B[:, active]
+            norms = np.linalg.norm(Ba, axis=0)
+            keep = norms > 1e-12
+            if not np.all(keep):
+                B[:, active[~keep]] = 0.0
+                active = active[keep]
+                continue
+            a = active.size
+            Saa = S[np.ix_(active, active)]
+            Aa = A[active, :]
+            Gmat = Ba @ Saa - Aa.T + mu * Ba / norms
+            gscale = max(1.0, float(np.max(np.abs(Aa))))
+            gmax = float(np.max(np.abs(Gmat)))
+            if gmax <= tol * gscale:
+                converged_inner = True
+                break
+            H0 = np.kron(Saa, eye_k)
+            for j in range(a):
+                bj = Ba[:, j]
+                nj = norms[j]
+                sl = slice(j * n_responses, (j + 1) * n_responses)
+                H0[sl, sl] += (mu / nj) * (
+                    eye_k - np.outer(bj, bj) / (nj * nj)
+                )
+            gvec = Gmat.T.reshape(-1)
+
+            def obj(Bc: np.ndarray) -> float:
+                return (
+                    0.5 * float(np.sum((Bc @ Saa) * Bc))
+                    - float(np.sum(Bc * Aa.T))
+                    + mu * float(np.linalg.norm(Bc, axis=0).sum())
+                )
+
+            f0 = obj(Ba)
+            lam = 1e-10 * max(float(np.trace(H0)) / H0.shape[0], 1e-12)
+            accepted = None
+            for _attempt in range(12):
+                H = H0.copy()
+                H[np.diag_indices_from(H)] += lam
+                try:
+                    step = np.linalg.solve(H, gvec)
+                except np.linalg.LinAlgError:
+                    lam *= 100.0
+                    continue
+                descent = float(np.dot(gvec, step))
+                if descent <= 0.0:
+                    lam *= 100.0
+                    continue
+                Step = step.reshape(a, n_responses).T
+                t = 1.0
+                for _ls in range(20):
+                    Bn = Ba - t * Step
+                    if obj(Bn) <= f0 - 1e-4 * t * descent:
+                        accepted = Bn
+                        break
+                    if t * float(np.max(np.abs(Step))) <= tol * max(
+                        1.0, float(np.max(np.abs(Ba)))
+                    ):
+                        break
+                    t *= 0.5
+                if accepted is not None:
+                    break
+                lam *= 100.0
+            if accepted is None:
+                if gmax <= 1e-6 * gscale:
+                    # Line search exhausted at floating-point noise
+                    # but the gradient is already tighter than the
+                    # first-order solver's tail — good enough.
+                    converged_inner = True
+                    break
+                return None
+            delta = float(np.max(np.abs(accepted - Ba)))
+            B[:, active] = accepted
+            scale = max(1.0, float(np.max(np.abs(accepted))))
+            if delta <= tol * scale:
+                converged_inner = True
+                break
+        if not converged_inner:
+            return None
+        C = A - S @ B.T
+        c_norms = np.linalg.norm(C, axis=1)
+        inactive = np.ones(n_features, dtype=bool)
+        inactive[active] = False
+        viol = inactive & (c_norms > mu * (1.0 + 1e-8)) & (diag_S > 1e-15)
+        if not np.any(viol):
+            return B
+        idx = np.nonzero(viol)[0]
+        B[:, idx] = ((1.0 - mu / c_norms[idx]) / diag_S[idx]) * C[idx].T
+    return None
+
+
 def _fista(
     B: np.ndarray,
     S: np.ndarray,
@@ -196,6 +427,7 @@ def _fista(
     mu: float,
     max_iter: int,
     tol: float,
+    L: Optional[float] = None,
 ) -> Tuple[np.ndarray, int, bool, float]:
     """FISTA with adaptive restart for the penalized group lasso.
 
@@ -205,7 +437,8 @@ def _fista(
     iteration is a handful of BLAS calls regardless of M — this is what
     makes the highly correlated voltage features tractable.
     """
-    L = _spectral_bound(S)
+    if L is None:
+        L = _spectral_bound(S)
     step = 1.0 / L
     Y = B.copy()
     B_prev = B.copy()
@@ -244,13 +477,14 @@ def _fista(
 
 
 def group_lasso_penalized(
-    Z: np.ndarray,
-    G: np.ndarray,
+    Z: Optional[np.ndarray],
+    G: Optional[np.ndarray],
     mu: float,
     max_iter: int = 20000,
     tol: float = 1e-7,
     warm_start: Optional[np.ndarray] = None,
     method: str = "fista",
+    stats: Optional[SufficientStats] = None,
 ) -> GroupLassoResult:
     """Solve ``min 1/2 ||G - Z B^T||_F^2 + mu * sum_m ||B_m||_2``.
 
@@ -258,9 +492,10 @@ def group_lasso_penalized(
     ----------
     Z:
         ``(N, M)`` feature matrix (normalized candidate voltages,
-        samples first).
+        samples first).  May be ``None`` when ``stats`` is given.
     G:
         ``(N, K)`` response matrix (normalized critical voltages).
+        May be ``None`` when ``stats`` is given.
     mu:
         Group penalty weight (>= 0; 0 reduces to OLS on all features).
     max_iter:
@@ -278,6 +513,11 @@ def group_lasso_penalized(
         power-grid voltages produce.  ``"bcd"`` — classic block
         coordinate descent with exact closed-form block updates; exact
         sparsity, but slow when many correlated groups are active.
+    stats:
+        Optional precomputed :class:`SufficientStats` for ``(Z, G)``.
+        When given, no Gram matrix is recomputed (``Z``/``G`` are not
+        read) and the solve counts into the ``path.gram_reuse``
+        metric; the solution is bit-identical to the uncached path.
 
     Returns
     -------
@@ -296,9 +536,14 @@ def group_lasso_penalized(
     check_positive(tol, "tol")
     if method not in ("fista", "bcd"):
         raise ValueError(f"unknown method {method!r}; use 'fista' or 'bcd'")
-    S, A, diag_S, gram_G = _prepare(Z, G)
-    n_features = S.shape[0]
-    n_responses = A.shape[1]
+    stats_reused = stats is not None
+    if stats is None:
+        if Z is None or G is None:
+            raise ValueError("Z and G are required when stats is not given")
+        stats = SufficientStats.from_arrays(Z, G)
+    S, A, diag_S, gram_G = stats.S, stats.A, stats.diag_S, stats.gram_G
+    n_features = stats.n_features
+    n_responses = stats.n_responses
 
     if warm_start is not None:
         B = np.array(warm_start, dtype=float, copy=True)
@@ -312,7 +557,9 @@ def group_lasso_penalized(
     registry = get_registry()
     _t0 = _time.perf_counter() if registry.enabled else 0.0
     if method == "fista":
-        B, sweeps, converged, residual = _fista(B, S, A.T.copy(), mu, max_iter, tol)
+        B, sweeps, converged, residual = _fista(
+            B, S, A.T.copy(), mu, max_iter, tol, L=stats.lipschitz
+        )
         # Zero out sub-threshold residues so inactive groups are exactly
         # zero, matching the BCD sparsity pattern.  At the optimum,
         # inactive groups satisfy ||grad_m|| <= mu strictly; their FISTA
@@ -353,6 +600,8 @@ def group_lasso_penalized(
         )
         registry.counter("group_lasso.solves").inc()
         registry.counter("group_lasso.iterations").inc(sweeps)
+        if stats_reused:
+            registry.counter("path.gram_reuse").inc()
 
     active = np.nonzero(np.linalg.norm(B, axis=0) > 0)[0]
     return GroupLassoResult(
@@ -374,6 +623,10 @@ def group_lasso_constrained(
     solver_max_iter: int = 20000,
     solver_tol: float = 1e-7,
     method: str = "fista",
+    stats: Optional[SufficientStats] = None,
+    warm: Optional[WarmState] = None,
+    reuse_gram: bool = True,
+    probe_tol: Optional[float] = None,
 ) -> GroupLassoResult:
     """Solve the paper's Eq. (12): minimize the fit subject to
     ``sum_m ||beta_m||_2 <= budget``.
@@ -391,12 +644,35 @@ def group_lasso_constrained(
         Maximum bisection steps on the dual penalty.
     solver_max_iter, solver_tol, method:
         Passed to the inner penalized solver.
+    stats:
+        Optional precomputed :class:`SufficientStats` for ``(Z, G)``.
+        When given, the whole path-following + bisection runs without
+        recomputing a single Gram matrix.
+    warm:
+        Optional :class:`WarmState` from a constrained solve on the
+        same ``(Z, G)`` at a nearby budget; the dual-penalty path
+        starts from its penalty instead of ``mu_max`` and every solve
+        is seeded with its coefficients.  Counted in the
+        ``sweep.warm_start_hits`` metric.
+    reuse_gram:
+        When ``False``, every inner penalized solve recomputes its own
+        Gram statistics (the pre-path-engine behaviour); kept as a
+        benchmark baseline and for bit-identity tests.
+    probe_tol:
+        Optional looser tolerance for the *probe* solves that only
+        locate the dual-penalty bracket (their ``norm_sum`` needs
+        ``rtol`` accuracy, not ``solver_tol``).  The returned solution
+        is always re-polished at ``solver_tol`` and re-checked against
+        the budget.  ``None`` (default) runs every solve at
+        ``solver_tol`` — the pre-path-engine behaviour.
 
     Returns
     -------
     GroupLassoResult
         With :attr:`GroupLassoResult.budget` set, and
-        :attr:`GroupLassoResult.penalty` the dual ``mu`` found.
+        :attr:`GroupLassoResult.penalty` the dual ``mu`` found.  The
+        returned solution never exceeds the budget by more than
+        ``rtol`` relatively: ``norm_sum() <= budget * (1 + rtol)``.
 
     Notes
     -----
@@ -414,13 +690,15 @@ def group_lasso_constrained(
     if not registry.enabled:
         return _constrained(
             Z, G, budget, rtol, max_bisections, solver_max_iter, solver_tol,
-            method,
+            method, stats=stats, warm=warm, reuse_gram=reuse_gram,
+            probe_tol=probe_tol,
         )
     with span("fit.group_lasso", budget=float(budget)) as sp:
         iters_before = registry.counter("group_lasso.iterations").value
         result = _constrained(
             Z, G, budget, rtol, max_bisections, solver_max_iter, solver_tol,
-            method,
+            method, stats=stats, warm=warm, reuse_gram=reuse_gram,
+            probe_tol=probe_tol,
         )
         total_iterations = (
             registry.counter("group_lasso.iterations").value - iters_before
@@ -450,38 +728,46 @@ def _constrained(
     solver_max_iter: int,
     solver_tol: float,
     method: str,
+    stats: Optional[SufficientStats] = None,
+    warm: Optional[WarmState] = None,
+    reuse_gram: bool = True,
+    probe_tol: Optional[float] = None,
 ) -> GroupLassoResult:
     """The actual constrained solve (see :func:`group_lasso_constrained`)."""
     check_positive(budget, "budget")
     Z = check_matrix(Z, "Z")
     G = check_matrix(G, "G", n_rows=Z.shape[0])
+    if stats is None:
+        stats = SufficientStats.from_arrays(Z, G)
+    inner_stats = stats if reuse_gram else None
+    n_responses, n_features = stats.n_responses, stats.n_features
+    registry = get_registry()
 
     # Slack check without coordinate descent: if even the unpenalized
     # (OLS) solution fits inside the budget, the constraint is inactive.
     # lstsq handles the highly correlated candidate columns exactly,
-    # where coordinate descent at mu ~ 0 would crawl.
-    ols_coef_t, *_ = np.linalg.lstsq(Z, G, rcond=None)
-    ols_coef = ols_coef_t.T
-    ols_norm_sum = float(np.linalg.norm(ols_coef, axis=0).sum())
+    # where coordinate descent at mu ~ 0 would crawl.  The solution is
+    # cached on the stats, so bisections over budgets pay for it once.
+    ols_coef, ols_norm_sum = stats.ols(Z, G)
     if ols_norm_sum <= budget * (1.0 + rtol):
-        S, A, _, gram_G = _prepare(Z, G)
-        active = np.arange(Z.shape[1])
+        active = np.arange(n_features)
         return GroupLassoResult(
-            coef=ols_coef,
+            coef=ols_coef.copy(),
             penalty=0.0,
             budget=budget,
-            objective=_objective(ols_coef, S, A, gram_G, 0.0, active),
+            objective=_objective(
+                ols_coef, stats.S, stats.A, stats.gram_G, 0.0, active
+            ),
             n_iterations=0,
             converged=True,
         )
 
     # At B = 0 each group's activation threshold is ||A[m]||; above the
     # max no group activates.
-    A = Z.T @ G
-    mu_hi = float(np.max(np.linalg.norm(A, axis=1)))
-    if mu_hi == 0.0:
+    mu_max = stats.mu_max
+    if mu_max == 0.0:
         return GroupLassoResult(
-            coef=np.zeros((G.shape[1], Z.shape[1])),
+            coef=np.zeros((n_responses, n_features)),
             penalty=0.0,
             budget=budget,
             objective=0.0,
@@ -489,54 +775,278 @@ def _constrained(
             converged=True,
         )
 
-    # Downward warm-started path from mu_hi until the budget is
-    # exceeded; solutions along the path stay sparse, so every solve is
-    # cheap.  This brackets the dual penalty without ever touching the
-    # dense small-mu regime.
-    decay = 0.65
-    warm = np.zeros((G.shape[1], Z.shape[1]))
-    hi_mu = mu_hi
-    hi_result: Optional[GroupLassoResult] = None
-    lo_mu = None
-    lo_result = None
-    mu = mu_hi * decay
-    for _ in range(120):
-        result = group_lasso_penalized(
-            Z, G, mu, max_iter=solver_max_iter, tol=solver_tol,
-            warm_start=warm, method=method,
+    bracket_tol = solver_tol
+    if probe_tol is not None and probe_tol > solver_tol:
+        bracket_tol = probe_tol
+
+    def solve(
+        mu: float, warm_coef: np.ndarray, tol: Optional[float] = None
+    ) -> GroupLassoResult:
+        return group_lasso_penalized(
+            Z, G, mu, max_iter=solver_max_iter,
+            tol=bracket_tol if tol is None else tol,
+            warm_start=warm_coef, method=method, stats=inner_stats,
         )
-        warm = result.coef.copy()
-        if result.norm_sum() > budget:
-            lo_mu, lo_result = mu, result
-            break
-        hi_mu, hi_result = mu, result
-        mu *= decay
+
+    def certify(result: GroupLassoResult) -> GroupLassoResult:
+        """Fully-converged solution at ``result.penalty``, warm from it.
+
+        Uses the second-order active-set refiner, which reaches (and
+        exceeds) ``solver_tol`` accuracy in a handful of small linear
+        solves where warm-started FISTA would crawl through thousands
+        of iterations; falls back to strict FISTA if the refinement
+        stalls.
+
+        Only the *norm sum* of a certified result is meaningful to the
+        caller: on degenerate (correlated) problems the optimum is not
+        unique, and the refiner lands on whichever optimum is nearest
+        its starting point.  Use it for feasibility verdicts; return
+        :func:`polish` output to the caller.
+        """
+        refined = _active_refine(
+            stats.S, stats.A, stats.diag_S, result.penalty, result.coef
+        )
+        if refined is None:
+            return solve(result.penalty, result.coef.copy(), tol=solver_tol)
+        active = np.nonzero(np.linalg.norm(refined, axis=0) > 0)[0]
+        return GroupLassoResult(
+            coef=refined,
+            penalty=result.penalty,
+            objective=_objective(
+                refined, stats.S, stats.A, stats.gram_G,
+                result.penalty, active,
+            ),
+            n_iterations=max(1, result.n_iterations),
+            converged=True,
+            final_residual=0.0,
+        )
+
+
+    def polish(result: GroupLassoResult) -> GroupLassoResult:
+        """Strict-tolerance first-order re-solve, warm from ``result``.
+
+        This is what the caller receives.  The degenerate scopes of
+        this problem class have non-unique optima, and *which* optimum
+        a solver reaches is part of the contract: the proximal solver's
+        shrinkage concentrates mass on the same groups whether it runs
+        loose-then-polished or strict throughout, so polished results
+        match the all-strict (``probe_tol=None``) path — a
+        second-order refinement would not (see :func:`certify`).
+        """
+        return solve(result.penalty, result.coef.copy(), tol=solver_tol)
+
+    def zero_result() -> GroupLassoResult:
+        # The exact solution for any mu >= mu_max: all groups off.
+        # Always feasible (norm sum 0), so it is a safe fallback when
+        # no feasible iterate was ever solved explicitly.
+        return GroupLassoResult(
+            coef=np.zeros((n_responses, n_features)),
+            penalty=mu_max,
+            budget=budget,
+            objective=0.5 * stats.gram_G,
+            n_iterations=0,
+            converged=True,
+        )
+
+    # Warm-started path along the canonical penalty grid
+    # ``mu_max * decay^k`` until the budget is exceeded; solutions
+    # along the path stay sparse, so every solve is cheap.  This
+    # brackets the dual penalty without ever touching the dense
+    # small-mu regime.  A WarmState from a nearby budget jumps onto
+    # the grid point just above its penalty (usually one or two solves
+    # from the answer) instead of walking all the way down from
+    # mu_max — but because the bracket endpoints always land on grid
+    # points, the bisection path (and therefore the selected set) is
+    # independent of the warm history: a warm solve returns the same
+    # solution a cold solve would.
+    decay = 0.65
+
+    def grid(k: int) -> float:
+        # Repeated multiplication, bit-identical to a cold walk.
+        mu = mu_max
+        for _ in range(k):
+            mu *= decay
+        return mu
+
+    warm_usable = (
+        warm is not None
+        and warm.coef.shape == (n_responses, n_features)
+        and 0.0 < warm.penalty < mu_max
+    )
+    if warm_usable:
+        warm_coef = np.array(warm.coef, dtype=float, copy=True)
+        ratio = np.log(float(warm.penalty) / mu_max) / np.log(decay)
+        k = max(1, int(np.floor(ratio)))
+        if registry.enabled:
+            registry.counter("sweep.warm_start_hits").inc()
+    else:
+        warm_coef = np.zeros((n_responses, n_features))
+        k = 1
+
+    hi_mu = mu_max
+    hi_result: Optional[GroupLassoResult] = None
+    hi_k = 0
+    lo_mu = None
+    # Walk up the grid if the starting point is already infeasible
+    # (the previous budget sat close and its penalty is below this
+    # budget's crossing), otherwise walk down until the budget is
+    # exceeded; either way the final bracket is a pair of adjacent
+    # grid points.  Walk probes run at the loose tolerance; an
+    # infeasible verdict is always trustworthy (a loose FISTA solve
+    # can only *understate* the norm sum — its relative-change
+    # criterion may trigger while the coefficients are still growing),
+    # but a feasible verdict whose norm sum has *stalled* is suspect:
+    # the OLS slack check already proved the true norm sum must grow
+    # past the budget as mu falls, so a frozen value means the loose
+    # solve stopped prematurely and must be certified before it may
+    # extend the walk.
+    prev_ns = 0.0
+    for _ in range(120):
+        mu = grid(k)
+        result = solve(mu, warm_coef)
+        warm_coef = result.coef.copy()
+        used = result.norm_sum()
+        if (
+            bracket_tol > solver_tol
+            and used <= budget
+            and used <= prev_ns * (1.0 + 1e-3)
+        ):
+            result = certify(result)
+            warm_coef = result.coef.copy()
+            used = result.norm_sum()
+        prev_ns = used
+        if used > budget:
+            lo_mu = mu
+            if k <= 1 or hi_result is not None:
+                # hi_mu is feasible either via hi_result or (when
+                # still mu_max) the exact zero solution.
+                break
+            k -= 1
+        else:
+            hi_mu, hi_result, hi_k = mu, result, k
+            if lo_mu is not None:
+                break
+            k += 1
+
+    # Certify the feasible endpoint at solver_tol: a loose walk probe
+    # understates its norm sum (FISTA's relative-change criterion can
+    # trigger while the coefficients are still growing), so what
+    # looked feasible may not be.  If certification flips the verdict,
+    # the endpoint becomes a *certified* infeasible lo bound and the
+    # walk repairs upward — larger penalties mean sparser, cheaper
+    # solves, so the repair path costs little.
+    if bracket_tol > solver_tol and lo_mu is not None:
+        while hi_result is not None:
+            certified = certify(hi_result)
+            if certified.norm_sum() <= budget:
+                hi_result = certified
+                break
+            lo_mu = hi_mu
+            hi_k -= 1
+            if hi_k < 1:
+                hi_mu, hi_result = mu_max, None
+                break
+            hi_mu = grid(hi_k)
+            hi_result = solve(hi_mu, certified.coef.copy())
     if lo_mu is None:
         # Numerically the budget is never exceeded (degenerate data);
-        # return the loosest solution found.
-        final = hi_result if hi_result is not None else group_lasso_penalized(
-            Z, G, hi_mu, max_iter=solver_max_iter, tol=solver_tol, method=method
-        )
-        final.budget = budget
-        return final
+        # return the loosest (feasible) solution found, certified at
+        # solver_tol.  If certification exposes the walk's loose
+        # probes as optimistic after all, fall through to a bisection
+        # restarted from the certified-infeasible penalty.
+        final = hi_result if hi_result is not None else zero_result()
+        if bracket_tol > solver_tol and final.n_iterations > 0:
+            final = certify(final)
+        if final.norm_sum() <= budget * (1.0 + rtol):
+            final.budget = budget
+            return final
+        lo_mu = final.penalty
+        hi_mu, hi_result = mu_max, None
+        warm_coef = final.coef.copy()
 
     # Bisect [lo_mu, hi_mu]: norm_sum(lo_mu) > budget >= norm_sum(hi_mu).
-    best = hi_result if hi_result is not None else lo_result
+    # ``best`` must always stay on the feasible side: initializing it
+    # to the infeasible lo endpoint could return a budget-violating
+    # placement when no bisection iterate lands within rtol.
+    #
+    # Loose probes steer the bisection, but two gates protect its
+    # correctness.  First, norm_sum is non-increasing in mu, so a probe
+    # at ``mid < hi_mu`` reporting a norm sum *below* the feasible
+    # endpoint's proves the solve stalled — its feasible verdict cannot
+    # be trusted and is certified before it may move the bracket.
+    # Second, a probe is only *accepted* (in the rtol band) after
+    # certification, so the band test is applied to a fully-converged
+    # norm sum, never a loose estimate.
+    best = hi_result if hi_result is not None else zero_result()
+    best_strict = False
+    ns_hi = best.norm_sum()
     for _ in range(max_bisections):
-        mid = np.sqrt(lo_mu * hi_mu)
-        result = group_lasso_penalized(
-            Z, G, mid, max_iter=solver_max_iter, tol=solver_tol,
-            warm_start=warm, method=method,
-        )
-        warm = result.coef.copy()
+        mid = float(np.sqrt(lo_mu * hi_mu))
+        result = solve(mid, warm_coef)
+        warm_coef = result.coef.copy()
         used = result.norm_sum()
+        in_band = abs(used - budget) <= rtol * budget
+        strict = bracket_tol == solver_tol
+        if (
+            bracket_tol > solver_tol
+            and used <= budget
+            and used < ns_hi * (1.0 - 1e-6)
+        ):
+            # Stalled probe (see above): certify its verdict.
+            result = certify(result)
+            warm_coef = result.coef.copy()
+            used = result.norm_sum()
+            in_band = abs(used - budget) <= rtol * budget
+        elif bracket_tol > solver_tol and in_band:
+            # Candidate for acceptance: re-check the band on the
+            # strictly-polished solution, never a loose estimate.
+            result = polish(result)
+            warm_coef = result.coef.copy()
+            used = result.norm_sum()
+            in_band = abs(used - budget) <= rtol * budget
+            strict = True
         if used > budget:
             lo_mu = mid
+            if in_band and strict:
+                # Polished slightly-over solution inside the band.
+                best, best_strict = result, True
+                break
         else:
             hi_mu = mid
-            best = result
-        if abs(used - budget) <= rtol * budget:
-            best = result
-            break
+            ns_hi = max(ns_hi, used)
+            best, best_strict = result, strict
+            if in_band:
+                break
+
+    if bracket_tol > solver_tol and best.n_iterations > 0 and not best_strict:
+        # The bisection ended without an in-band acceptance (whose
+        # polish already ran); the returned solution must still be
+        # solver_tol-accurate.
+        best = polish(best)
+    if best.norm_sum() > budget * (1.0 + rtol):
+        # Defensive guard: certification can grow the norm sum past
+        # the band when the accepted probe was borderline (or, in the
+        # dense regime, badly stalled).  Walk mu back up (norm_sum is
+        # non-increasing in mu) until the certified solution is
+        # feasible again; mu_max bounds the walk because the zero
+        # solution is always feasible.
+        mu = best.penalty
+        polished = best
+        for _ in range(60):
+            factor = 2.0 if polished.norm_sum() > budget * 2.0 else 1.05
+            mu = min(mu * factor, mu_max)
+            polished = certify(solve(mu, polished.coef.copy()))
+            if polished.norm_sum() <= budget * (1.0 + rtol):
+                best = polished
+                break
+            if mu >= mu_max:
+                best = zero_result()
+                break
+        else:
+            # Should be unreachable (norm_sum falls steeply in mu);
+            # scale the coefficients onto the budget as a feasible
+            # last resort.
+            polished.coef *= budget / polished.norm_sum()
+            best = polished
     best.budget = budget
     return best

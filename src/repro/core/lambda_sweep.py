@@ -5,6 +5,12 @@ a sensor count and a prediction accuracy, exposing the design-cost vs
 accuracy tradeoff ("the designer can use the parameter lambda to
 explore the tradeoff between the chip design cost and the voltage
 prediction performance").
+
+Sweeps and sensor-count bisections ride on the
+:class:`~repro.core.path_engine.LambdaPathEngine`: Gram statistics are
+computed once per scope, budgets are solved in ascending order with
+cross-budget warm starts, and ``n_jobs`` overlaps independent scopes'
+λ paths on a thread pool.  See ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.obs import get_registry, span
+from repro.core.path_engine import LambdaPathEngine
 from repro.core.pipeline import PipelineConfig, PlacementModel, fit_placement
 from repro.voltage.dataset import VoltageDataset
 from repro.voltage.metrics import max_absolute_error, mean_relative_error
@@ -60,6 +67,8 @@ def sweep_lambda(
     base_config: Optional[PipelineConfig] = None,
     test_fraction: float = 0.25,
     rng: RngLike = None,
+    n_jobs: Optional[int] = None,
+    warm_start: bool = True,
 ) -> List[SweepPoint]:
     """Fit placements across a lambda range and score each.
 
@@ -69,7 +78,9 @@ def sweep_lambda(
         Full dataset; it is split once into train/evaluation parts so
         every lambda is scored on the same held-out maps.
     budgets:
-        Lambda values to sweep (ascending order recommended).
+        Lambda values to sweep (any order; they are *solved* in
+        ascending order so warm starts chain, and returned in input
+        order).
     base_config:
         Template config; its ``budget`` field is overridden per sweep
         point.  Defaults to per-core fitting with the paper's T.
@@ -77,6 +88,16 @@ def sweep_lambda(
         Held-out fraction for scoring.
     rng:
         Seed or generator for the split.
+    n_jobs:
+        Worker threads for overlapping independent scopes' λ paths
+        (defaults to ``base_config.n_jobs``; 1 = fully sequential).
+    warm_start:
+        When ``True`` (default) budgets share one
+        :class:`~repro.core.path_engine.LambdaPathEngine`: Gram
+        statistics are computed once per scope and consecutive budgets
+        seed each other.  ``False`` refits every budget independently
+        through :func:`~repro.core.pipeline.fit_placement` (the
+        benchmark baseline).
 
     Returns
     -------
@@ -90,13 +111,21 @@ def sweep_lambda(
     rng = make_rng(rng)
     train, test = dataset.train_test_split(test_fraction=test_fraction, rng=rng)
 
+    if warm_start:
+        engine = LambdaPathEngine(train, base_config, n_jobs=n_jobs)
+        with span("sweep.fit_path", n_budgets=len(budgets)):
+            models = engine.fit_path([float(b) for b in budgets])
+    else:
+        models = []
+        for budget in budgets:
+            config = replace(base_config, budget=float(budget))
+            with span("sweep.fit", budget=float(budget)):
+                models.append(fit_placement(train, config))
+
     points: List[SweepPoint] = []
     n_cores = max(1, len(dataset.core_ids))
     registry = get_registry()
-    for budget in budgets:
-        config = replace(base_config, budget=float(budget))
-        with span("sweep.fit", budget=float(budget)):
-            model = fit_placement(train, config)
+    for budget, model in zip(budgets, models):
         with span("sweep.predict", budget=float(budget)):
             pred = model.predict(test.X)
         point = SweepPoint(
@@ -131,7 +160,10 @@ def fit_for_sensor_count(
     The paper parameterizes its comparisons by sensor count ("2 sensors
     per core", "seven sensors"); this helper inverts the monotone
     lambda -> sensor-count mapping by bisection so experiments can be
-    driven by a target count.
+    driven by a target count.  All probes share one
+    :class:`~repro.core.path_engine.LambdaPathEngine`, so the repeated
+    refits reuse each scope's Gram statistics and warm-start each
+    other.
 
     Parameters
     ----------
@@ -144,9 +176,13 @@ def fit_for_sensor_count(
         Config template (budget overridden).  Defaults to per-core
         fitting.
     budget_lo, budget_hi:
-        Initial bracket; ``budget_hi`` is auto-expanded when omitted.
+        Initial bracket.  ``budget_hi`` is expanded (whether given or
+        defaulted) until its placement reaches the target count, so an
+        explicit-but-too-small upper bound cannot silently return a
+        far-off model.
     max_probes:
-        Bisection iterations after bracketing.
+        Bisection iterations after bracketing.  Probes whose budget is
+        too small to select anything do not count against this limit.
 
     Returns
     -------
@@ -159,38 +195,53 @@ def fit_for_sensor_count(
     if base_config is None:
         base_config = PipelineConfig(budget=1.0)
     n_scopes = max(1, len(dataset.core_ids)) if base_config.per_core else 1
+    engine = LambdaPathEngine(dataset, base_config)
 
     def count_of(model: PlacementModel) -> float:
         return model.n_sensors / n_scopes
 
-    def fit_at(budget: float) -> PlacementModel:
-        return fit_placement(dataset, replace(base_config, budget=budget))
+    def try_fit(budget: float) -> Optional[PlacementModel]:
+        # Budgets too small to select anything raise ValueError; report
+        # them as None so bracketing/bisection can react.
+        try:
+            return engine.fit(budget)
+        except ValueError:
+            return None
 
-    # Bracket the target from above.
+    # Bracket the target from above.  An explicit budget_hi is verified
+    # too: if its count is still below the target, bisection could only
+    # shrink the count further and would return a far-off model.
     if budget_hi is None:
         budget_hi = 1.0
-        model_hi = fit_at(budget_hi)
-        for _ in range(12):
-            if count_of(model_hi) >= target_per_core:
-                break
-            budget_hi *= 2.5
-            model_hi = fit_at(budget_hi)
-    else:
-        model_hi = fit_at(budget_hi)
+    model_hi = try_fit(budget_hi)
+    for _ in range(12):
+        if model_hi is not None and count_of(model_hi) >= target_per_core:
+            break
+        budget_hi *= 2.5
+        model_hi = try_fit(budget_hi)
+    if model_hi is None:
+        raise ValueError(
+            f"no placement selects any sensors at budgets up to {budget_hi:g}"
+        )
     best = model_hi
     best_gap = abs(count_of(model_hi) - target_per_core)
 
     lo, hi = budget_lo, budget_hi
-    for _ in range(max_probes):
+    probes = 0
+    attempts = 0
+    while probes < max_probes and attempts < 4 * max_probes:
         if best_gap == 0:
             break
+        attempts += 1
         mid = float(np.sqrt(lo * hi))
-        try:
-            model = fit_at(mid)
-        except ValueError:
+        model = try_fit(mid)
+        if model is None:
             # Budget too small to select anything: move the floor up.
+            # A failed probe fits no model, so it does not consume the
+            # probe budget.
             lo = mid
             continue
+        probes += 1
         gap = abs(count_of(model) - target_per_core)
         if gap < best_gap:
             best, best_gap = model, gap

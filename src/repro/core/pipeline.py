@@ -16,16 +16,18 @@ blocks is also provided.
 from __future__ import annotations
 
 import time as _time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.obs import get_registry, span
+from repro.core.group_lasso import SufficientStats, WarmState
 from repro.core.predictor import VoltagePredictor
 from repro.core.selection import DEFAULT_THRESHOLD, SelectionResult, select_sensors
 from repro.voltage.dataset import VoltageDataset
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_integer, check_positive
 
 __all__ = ["PipelineConfig", "ScopeModel", "PlacementModel", "fit_placement"]
 
@@ -47,6 +49,22 @@ class PipelineConfig:
         Budget-matching tolerance of the constrained GL solver.
     solver_max_iter, solver_tol, method:
         Inner solver controls.
+    n_jobs:
+        Worker threads for fitting independent scopes (and, through
+        :func:`~repro.core.lambda_sweep.sweep_lambda`, independent λ
+        paths).  1 (default) keeps everything on the calling thread;
+        BLAS releases the GIL, so threads give real speedups on the
+        matmul-heavy solves without copying the dataset per worker.
+    reuse_gram:
+        When ``True`` (default) each scope's Gram statistics are
+        computed once and shared by every solve of its λ path /
+        bisection.  ``False`` restores the recompute-per-solve
+        behaviour; kept as a benchmark baseline.
+    probe_tol:
+        Tolerance for the bracket-probe solves inside the constrained
+        solver; the accepted solution is always re-polished at
+        ``solver_tol``.  ``None`` runs every probe at ``solver_tol``
+        (the pre-path-engine behaviour).
     """
 
     budget: float
@@ -56,10 +74,14 @@ class PipelineConfig:
     solver_max_iter: int = 20000
     solver_tol: float = 1e-7
     method: str = "fista"
+    n_jobs: int = 1
+    reuse_gram: bool = True
+    probe_tol: Optional[float] = 1e-5
 
     def __post_init__(self) -> None:
         check_positive(self.budget, "budget")
         check_positive(self.threshold, "threshold")
+        check_integer(self.n_jobs, "n_jobs", minimum=1)
 
 
 @dataclass
@@ -182,6 +204,8 @@ def _fit_scope(
     candidate_cols: np.ndarray,
     block_cols: np.ndarray,
     config: PipelineConfig,
+    stats: Optional[SufficientStats] = None,
+    warm: Optional[WarmState] = None,
 ) -> ScopeModel:
     """Run selection + OLS refit for one scope."""
     X = dataset.X[:, candidate_cols]
@@ -201,6 +225,10 @@ def _fit_scope(
             solver_max_iter=config.solver_max_iter,
             solver_tol=config.solver_tol,
             method=config.method,
+            stats=stats,
+            warm=warm,
+            reuse_gram=config.reuse_gram,
+            probe_tol=config.probe_tol,
         )
         predictor = VoltagePredictor.fit(
             X,
@@ -240,32 +268,43 @@ def fit_placement(dataset: VoltageDataset, config: PipelineConfig) -> PlacementM
         In per-core mode, if a core has blocks to monitor but no BA
         candidates to select from.
     """
-    scopes: List[ScopeModel] = []
     with span(
         "fit.placement", budget=config.budget, per_core=config.per_core
     ) as sp:
-        if config.per_core:
-            for core in dataset.core_ids:
-                candidate_cols, block_cols = dataset.core_view(core)
-                if block_cols.size == 0:
-                    continue
-                if candidate_cols.size == 0:
-                    raise ValueError(
-                        f"core {core} has {block_cols.size} blocks but no "
-                        "sensor candidates; use a finer grid or global mode"
+        scope_specs = _scope_specs(dataset, config)
+        if config.n_jobs > 1 and len(scope_specs) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(config.n_jobs, len(scope_specs))
+            ) as pool:
+                scopes = list(
+                    pool.map(
+                        lambda spec: _fit_scope(dataset, *spec, config),
+                        scope_specs,
                     )
-                scopes.append(
-                    _fit_scope(dataset, core, candidate_cols, block_cols, config)
                 )
         else:
-            scopes.append(
-                _fit_scope(
-                    dataset,
-                    -1,
-                    np.arange(dataset.n_candidates),
-                    np.arange(dataset.n_blocks),
-                    config,
-                )
-            )
+            scopes = [
+                _fit_scope(dataset, *spec, config) for spec in scope_specs
+            ]
         sp.set_attribute("n_sensors", sum(s.n_sensors for s in scopes))
     return PlacementModel(scopes=scopes, config=config, n_blocks=dataset.n_blocks)
+
+
+def _scope_specs(dataset: VoltageDataset, config: PipelineConfig):
+    """``(core_index, candidate_cols, block_cols)`` for every fit scope."""
+    if not config.per_core:
+        return [
+            (-1, np.arange(dataset.n_candidates), np.arange(dataset.n_blocks))
+        ]
+    specs = []
+    for core in dataset.core_ids:
+        candidate_cols, block_cols = dataset.core_view(core)
+        if block_cols.size == 0:
+            continue
+        if candidate_cols.size == 0:
+            raise ValueError(
+                f"core {core} has {block_cols.size} blocks but no "
+                "sensor candidates; use a finer grid or global mode"
+            )
+        specs.append((core, candidate_cols, block_cols))
+    return specs

@@ -3,19 +3,37 @@
 Normalizes the data, runs the constrained group lasso at the chosen
 ``lambda``, and thresholds the column norms ``||beta_m||_2`` against T
 (the paper uses T = 1e-3) to obtain the selected sensor index set S.
+
+For λ paths (sweeps, bisections) the expensive part of each call is the
+Gram computation inside the solver; :func:`prepare_stats` builds the
+standardized problem and its :class:`~repro.core.group_lasso.SufficientStats`
+once so repeated calls at different budgets never recompute it (see
+:mod:`repro.core.path_engine`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.core.group_lasso import GroupLassoResult, group_lasso_constrained
+from repro.core.group_lasso import (
+    GroupLassoResult,
+    SufficientStats,
+    WarmState,
+    group_lasso_constrained,
+)
 from repro.core.normalization import Standardizer
 from repro.utils.validation import check_matrix, check_positive
 
-__all__ = ["SelectionResult", "select_sensors", "DEFAULT_THRESHOLD"]
+__all__ = [
+    "SelectionResult",
+    "select_sensors",
+    "prepare_stats",
+    "threshold_selection",
+    "DEFAULT_THRESHOLD",
+]
 
 #: The paper's selection threshold T.
 DEFAULT_THRESHOLD = 1e-3
@@ -54,6 +72,58 @@ class SelectionResult:
         """Q — number of selected sensors."""
         return self.selected.shape[0]
 
+    def warm_state(self) -> WarmState:
+        """Warm-start seed for a constrained solve at a nearby budget."""
+        return WarmState(
+            coef=self.gl_result.coef, penalty=self.gl_result.penalty
+        )
+
+
+def prepare_stats(
+    X: np.ndarray, F: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, SufficientStats]:
+    """Standardize ``(X, F)`` and build the solver sufficient statistics.
+
+    Returns ``(z, g, stats)``: the standardized matrices exactly as
+    :func:`select_sensors` computes them internally, plus their
+    :class:`~repro.core.group_lasso.SufficientStats`.  Passing these
+    back into :func:`select_sensors` (or the constrained solver) makes
+    every solve of a λ path reuse one Gram computation, with
+    bit-identical coefficients.
+    """
+    X = check_matrix(X, "X")
+    F = check_matrix(F, "F", n_rows=X.shape[0])
+    z = Standardizer().fit_transform(X)
+    g = Standardizer().fit_transform(F)
+    return z, g, SufficientStats.from_arrays(z, g)
+
+
+def threshold_selection(
+    gl: GroupLassoResult, budget: float, threshold: float
+) -> SelectionResult:
+    """Paper Step 5: threshold ``||beta_m||_2`` against T.
+
+    Raises
+    ------
+    ValueError
+        If no sensor survives the threshold — the budget is too small
+        to be useful; increase lambda.
+    """
+    norms = gl.group_norms()
+    selected = np.nonzero(norms > threshold)[0]
+    if selected.size == 0:
+        raise ValueError(
+            f"no sensors selected at lambda={budget} with T={threshold}; "
+            f"max ||beta_m|| = {norms.max():.3g} — increase lambda"
+        )
+    return SelectionResult(
+        selected=selected,
+        group_norms=norms,
+        budget=budget,
+        threshold=threshold,
+        gl_result=gl,
+    )
+
 
 def select_sensors(
     X: np.ndarray,
@@ -64,6 +134,10 @@ def select_sensors(
     solver_max_iter: int = 20000,
     solver_tol: float = 1e-7,
     method: str = "fista",
+    stats: Optional[SufficientStats] = None,
+    warm: Optional[WarmState] = None,
+    reuse_gram: bool = True,
+    probe_tol: Optional[float] = None,
 ) -> SelectionResult:
     """Run paper Steps 3-5: normalize, solve GL, threshold ``||beta_m||``.
 
@@ -81,6 +155,20 @@ def select_sensors(
         selected.
     rtol, solver_max_iter, solver_tol, method:
         Numerical controls forwarded to the constrained solver.
+    stats:
+        Optional sufficient statistics of the *standardized* problem,
+        as returned by :func:`prepare_stats` for the same ``(X, F)``.
+        Skips every Gram recomputation inside the solve.
+    warm:
+        Optional warm-start state from a selection on the same data at
+        a nearby budget (:meth:`SelectionResult.warm_state`).
+    reuse_gram:
+        ``False`` restores the one-Gram-per-inner-solve behaviour
+        (benchmark baseline).
+    probe_tol:
+        Optional looser tolerance for bracket probes inside the
+        constrained solve (the result is re-polished at
+        ``solver_tol``); ``None`` keeps every solve at ``solver_tol``.
 
     Returns
     -------
@@ -107,18 +195,9 @@ def select_sensors(
         solver_max_iter=solver_max_iter,
         solver_tol=solver_tol,
         method=method,
+        stats=stats,
+        warm=warm,
+        reuse_gram=reuse_gram,
+        probe_tol=probe_tol,
     )
-    norms = gl.group_norms()
-    selected = np.nonzero(norms > threshold)[0]
-    if selected.size == 0:
-        raise ValueError(
-            f"no sensors selected at lambda={budget} with T={threshold}; "
-            f"max ||beta_m|| = {norms.max():.3g} — increase lambda"
-        )
-    return SelectionResult(
-        selected=selected,
-        group_norms=norms,
-        budget=budget,
-        threshold=threshold,
-        gl_result=gl,
-    )
+    return threshold_selection(gl, budget, threshold)

@@ -59,6 +59,7 @@ def run_experiment(
     data: GeneratedData,
     out_dir: Optional[str] = None,
     setup: Optional[ExperimentSetup] = None,
+    n_jobs: int = 1,
 ) -> str:
     """Run one experiment by name; returns its rendered report.
 
@@ -74,9 +75,13 @@ def run_experiment(
         The profile the run uses.  Only the ``extensions`` experiment
         needs it (it regenerates its own datasets while varying the
         chip); defaults to :data:`FAST_SETUP` when omitted.
+    n_jobs:
+        Worker threads for experiments that fit independent scopes
+        (currently the ``table1`` λ sweep); 1 keeps everything on the
+        calling thread.
     """
-    with obs.span(f"experiment.{name}"):
-        return _run_experiment(name, data, out_dir, setup)
+    with obs.span(f"experiment.{name}", n_jobs=n_jobs):
+        return _run_experiment(name, data, out_dir, setup, n_jobs)
 
 
 def _run_experiment(
@@ -84,6 +89,7 @@ def _run_experiment(
     data: GeneratedData,
     out_dir: Optional[str],
     setup: Optional[ExperimentSetup],
+    n_jobs: int = 1,
 ) -> str:
     t0 = time.time()
     if name == "fig1":
@@ -95,7 +101,7 @@ def _run_experiment(
             "selected": {str(b): result.selected[b] for b in result.budgets},
         }
     elif name == "table1":
-        result = run_table1(data)
+        result = run_table1(data, n_jobs=n_jobs)
         text = render_table1(result)
         payload = {
             "budgets": result.budgets,
@@ -223,6 +229,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "summary, solver convergence stats) to this JSON file",
     )
     parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker threads for independent fitting scopes (table1 "
+        "λ sweep); 1 (default) is fully sequential",
+    )
+    parser.add_argument(
         "--trace-jsonl",
         default=None,
         metavar="EVENTS.jsonl",
@@ -232,6 +246,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.report and args.out is None:
         parser.error("--report requires --out")
+    if args.n_jobs < 1:
+        parser.error("--n-jobs must be >= 1")
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     for name in names:
@@ -252,7 +268,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             for name in names:
                 print("\n" + "=" * 78)
-                print(run_experiment(name, data, out_dir=args.out, setup=setup))
+                print(
+                    run_experiment(
+                        name,
+                        data,
+                        out_dir=args.out,
+                        setup=setup,
+                        n_jobs=args.n_jobs,
+                    )
+                )
         finally:
             if sink is not None:
                 sink.close()

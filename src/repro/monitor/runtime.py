@@ -111,6 +111,8 @@ class VoltageMonitor:
         self.events: List[EmergencyEvent] = []
         self._latency = Timer("monitor.step")
         self._below_streak = 0
+        self._streak_min = float("inf")
+        self._streak_block = -1
         self._alarm_active = False
         self._episode_start = 0
         self._episode_min = float("inf")
@@ -140,6 +142,9 @@ class VoltageMonitor:
         self.stats.min_predicted = min(self.stats.min_predicted, v_min)
 
         if v_min < self.threshold:
+            if self._below_streak == 0 or v_min < self._streak_min:
+                self._streak_min = v_min
+                self._streak_block = block
             self._below_streak += 1
         else:
             self._below_streak = 0
@@ -147,8 +152,14 @@ class VoltageMonitor:
         if not self._alarm_active and self._below_streak >= self.debounce:
             self._alarm_active = True
             self._episode_start = self._cycle - (self.debounce - 1)
-            self._episode_min = v_min
-            self._episode_block = block
+            self._episode_min = self._streak_min
+            self._episode_block = self._streak_block
+            # The episode is backdated to the start of the debounce
+            # streak; count those cycles as alarm cycles too, so that
+            # ``sum(event.duration) == stats.alarm_cycles`` holds for
+            # any debounce setting (the current cycle is counted by the
+            # alarm-active check below).
+            self.stats.alarm_cycles += self.debounce - 1
         elif self._alarm_active:
             if v_min < self._episode_min:
                 self._episode_min = v_min

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import Any, Dict, IO, List, Optional
 
 from repro.utils.io import to_jsonable
@@ -57,19 +58,25 @@ class JsonlSink:
         self._mode = mode
         self._fh: Optional[IO[str]] = None
         self.n_emitted = 0
+        self._lock = threading.Lock()
 
     def emit(self, event: Dict[str, Any]) -> None:
-        """Write one event as a JSON line (flushed immediately)."""
-        if self._fh is None:
-            parent = os.path.dirname(self.path)
-            if parent:
-                os.makedirs(parent, exist_ok=True)
-            self._fh = open(self.path, self._mode, encoding="utf-8")
-        json.dump(to_jsonable(event), self._fh, sort_keys=True,
-                  allow_nan=False)
-        self._fh.write("\n")
-        self._fh.flush()
-        self.n_emitted += 1
+        """Write one event as a JSON line (flushed immediately).
+
+        Thread-safe: concurrent emitters (e.g. parallel fitting
+        scopes) cannot interleave partial lines.
+        """
+        with self._lock:
+            if self._fh is None:
+                parent = os.path.dirname(self.path)
+                if parent:
+                    os.makedirs(parent, exist_ok=True)
+                self._fh = open(self.path, self._mode, encoding="utf-8")
+            json.dump(to_jsonable(event), self._fh, sort_keys=True,
+                      allow_nan=False)
+            self._fh.write("\n")
+            self._fh.flush()
+            self.n_emitted += 1
 
     def close(self) -> None:
         """Close the underlying file (safe to call twice)."""

@@ -30,21 +30,31 @@ __all__ = [
 
 
 class Counter:
-    """A monotonically increasing counter."""
+    """A monotonically increasing counter.
 
-    __slots__ = ("name", "value")
+    Thread-safe: increments from concurrent fitting workers (e.g. the
+    path engine's scope threads) aggregate without losing updates.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
         """Add ``n`` (default 1) to the counter."""
-        self.value += n
+        with self._lock:
+            self.value += n
 
 
 class Gauge:
-    """A point-in-time value (last write wins)."""
+    """A point-in-time value (last write wins).
+
+    A set is a single attribute store, so no lock is needed: concurrent
+    writers race benignly and one of their values wins.
+    """
 
     __slots__ = ("name", "value")
 
@@ -98,7 +108,7 @@ class Timer:
     """
 
     __slots__ = ("name", "count", "total", "minimum", "maximum",
-                 "_samples", "_max_samples", "_stride", "_phase")
+                 "_samples", "_max_samples", "_stride", "_phase", "_lock")
 
     def __init__(self, name: str, max_samples: int = 4096) -> None:
         if max_samples < 2:
@@ -112,25 +122,27 @@ class Timer:
         self._max_samples = max_samples
         self._stride = 1
         self._phase = 0
+        self._lock = threading.Lock()
 
     def record(self, seconds: float) -> None:
-        """Record one duration (in seconds)."""
+        """Record one duration (in seconds); thread-safe."""
         seconds = float(seconds)
-        self.count += 1
-        self.total += seconds
-        if seconds < self.minimum:
-            self.minimum = seconds
-        if seconds > self.maximum:
-            self.maximum = seconds
-        self._phase += 1
-        if self._phase >= self._stride:
-            self._phase = 0
-            self._samples.append(seconds)
-            if len(self._samples) >= self._max_samples:
-                # Thin the reservoir: keep every other sample, double
-                # the stride for future records.
-                self._samples = self._samples[::2]
-                self._stride *= 2
+        with self._lock:
+            self.count += 1
+            self.total += seconds
+            if seconds < self.minimum:
+                self.minimum = seconds
+            if seconds > self.maximum:
+                self.maximum = seconds
+            self._phase += 1
+            if self._phase >= self._stride:
+                self._phase = 0
+                self._samples.append(seconds)
+                if len(self._samples) >= self._max_samples:
+                    # Thin the reservoir: keep every other sample,
+                    # double the stride for future records.
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
 
     def time(self) -> "_TimerContext":
         """Context manager recording the wall time of its body."""
@@ -138,9 +150,11 @@ class Timer:
 
     def percentile(self, p: float) -> float:
         """Approximate p-th percentile (0..100) of recorded durations."""
-        if not self._samples:
+        with self._lock:
+            samples = list(self._samples)
+        if not samples:
             return 0.0
-        ordered = sorted(self._samples)
+        ordered = sorted(samples)
         if p <= 0:
             return ordered[0]
         if p >= 100:
@@ -305,15 +319,17 @@ class MetricsRegistry:
         """
         if not self.enabled:
             return
-        record = {
-            "event": name,
-            "seq": self._event_seq,
-            "t_s": time.perf_counter() - self._epoch,
-        }
-        record.update(fields)
-        self._event_seq += 1
-        self.events.append(record)
-        for sink in self._sinks:
+        with self._lock:
+            record = {
+                "event": name,
+                "seq": self._event_seq,
+                "t_s": time.perf_counter() - self._epoch,
+            }
+            record.update(fields)
+            self._event_seq += 1
+            self.events.append(record)
+            sinks = list(self._sinks)
+        for sink in sinks:
             sink.emit(record)
 
     def events_named(self, name: str) -> List[Dict[str, Any]]:

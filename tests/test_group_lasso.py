@@ -7,6 +7,8 @@ from hypothesis import strategies as st
 
 from repro.core.group_lasso import (
     GroupLassoResult,
+    SufficientStats,
+    WarmState,
     group_lasso_constrained,
     group_lasso_penalized,
 )
@@ -19,6 +21,19 @@ def sparse_problem(seed=0, n=400, m=30, k=5, active=(3, 11, 27), noise=0.05):
     B_true[:, list(active)] = 2.0 * rng.standard_normal((k, len(active)))
     G = Z @ B_true.T + noise * rng.standard_normal((n, k))
     return Z, G, B_true
+
+
+def correlated_problem(seed=0, n=300, m=20, k=4, rank=5, noise=0.02):
+    """Highly correlated candidate columns (low-rank latent drivers) —
+    the regime where loose solves understate norm sums and bisection
+    once returned budget-violating solutions."""
+    rng = np.random.default_rng(seed)
+    latent = rng.standard_normal((n, rank))
+    mix = rng.standard_normal((rank, m))
+    Z = latent @ mix + 0.05 * rng.standard_normal((n, m))
+    W = rng.standard_normal((k, rank))
+    G = latent @ W.T + noise * rng.standard_normal((n, k))
+    return Z, G
 
 
 class TestPenalized:
@@ -143,6 +158,101 @@ class TestConstrained:
         G = np.zeros((50, 2))
         result = group_lasso_constrained(Z, G, budget=1.0)
         assert np.allclose(result.coef, 0.0, atol=1e-9)
+
+
+class TestConstrainedFeasibility:
+    """Regression tests: a constrained solve must return a feasible
+    solution.  The bisection once initialized its running best to the
+    *infeasible* lo endpoint, so budgets whose band no iterate hit came
+    back violating the constraint."""
+
+    RTOL = 1e-2
+
+    @pytest.mark.parametrize("budget", [0.2, 0.5, 1.0, 2.0, 4.0, 8.0])
+    def test_feasible_on_correlated_problem(self, budget):
+        Z, G = correlated_problem()
+        result = group_lasso_constrained(Z, G, budget=budget, rtol=self.RTOL)
+        assert result.norm_sum() <= budget * (1.0 + self.RTOL) + 1e-12
+        assert result.budget == budget
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_feasible_across_problems(self, seed):
+        Z, G = correlated_problem(seed=seed)
+        for budget in (0.3, 1.5, 6.0):
+            result = group_lasso_constrained(
+                Z, G, budget=budget, rtol=self.RTOL
+            )
+            assert result.norm_sum() <= budget * (1.0 + self.RTOL) + 1e-12
+
+    def test_feasible_with_loose_probes(self):
+        # Loose bracket probes understate the norm sum on correlated
+        # data; the returned solution must still be feasible.
+        Z, G = correlated_problem(seed=5)
+        for budget in (0.5, 2.0, 5.0):
+            result = group_lasso_constrained(
+                Z, G, budget=budget, rtol=self.RTOL, probe_tol=1e-5
+            )
+            assert result.norm_sum() <= budget * (1.0 + self.RTOL) + 1e-12
+
+
+class TestConstrainedPathFidelity:
+    """The λ-path accelerations (cached Gram, loose probes, warm
+    starts) must not change what a constrained solve returns."""
+
+    def test_cached_stats_bit_identical(self):
+        Z, G = correlated_problem(seed=1)
+        stats = SufficientStats.from_arrays(Z, G)
+        plain = group_lasso_constrained(Z, G, budget=1.0)
+        cached = group_lasso_constrained(Z, G, budget=1.0, stats=stats)
+        assert np.array_equal(plain.coef, cached.coef)
+        assert plain.penalty == cached.penalty
+
+    def test_loose_probes_match_strict_selection(self):
+        Z, G = correlated_problem(seed=2)
+        for budget in (0.5, 1.0, 2.0):
+            strict = group_lasso_constrained(Z, G, budget=budget, probe_tol=None)
+            loose = group_lasso_constrained(Z, G, budget=budget, probe_tol=1e-5)
+            assert (
+                strict.active_groups(1e-3).tolist()
+                == loose.active_groups(1e-3).tolist()
+            )
+
+    def test_warm_start_matches_cold_selection(self):
+        Z, G = correlated_problem(seed=3)
+        stats = SufficientStats.from_arrays(Z, G)
+        prev = group_lasso_constrained(
+            Z, G, budget=0.5, stats=stats, probe_tol=1e-5
+        )
+        warm = group_lasso_constrained(
+            Z, G, budget=1.5, stats=stats, probe_tol=1e-5,
+            warm=WarmState(coef=prev.coef, penalty=prev.penalty),
+        )
+        cold = group_lasso_constrained(
+            Z, G, budget=1.5, stats=stats, probe_tol=1e-5
+        )
+        assert (
+            warm.active_groups(1e-3).tolist()
+            == cold.active_groups(1e-3).tolist()
+        )
+        assert warm.norm_sum() == pytest.approx(cold.norm_sum(), rel=1e-4)
+
+    def test_methods_agree_at_tight_budgets(self):
+        # FISTA vs coordinate descent on correlated features: the
+        # selected groups (and the attained norm sums) must agree at
+        # tight budgets, where the solution is sparse enough for BCD.
+        Z, G = correlated_problem(seed=4)
+        for budget in (0.3, 0.8):
+            fista = group_lasso_constrained(
+                Z, G, budget=budget, method="fista"
+            )
+            bcd = group_lasso_constrained(Z, G, budget=budget, method="bcd")
+            assert (
+                fista.active_groups(1e-3).tolist()
+                == bcd.active_groups(1e-3).tolist()
+            )
+            assert fista.norm_sum() == pytest.approx(
+                bcd.norm_sum(), rel=5e-2
+            )
 
 
 class TestResultObject:

@@ -43,6 +43,45 @@ class TestSweepLambda:
         points = sweep_lambda(ds, budgets=[2.0], base_config=base, rng=0)
         assert len(points[0].model.scopes) == 1
 
+    def test_warm_start_matches_independent_fits(self):
+        # The engine-backed sweep (shared Gram + cross-budget warm
+        # starts) must select the same sensors as refitting every
+        # budget from scratch.
+        ds = make_synthetic_dataset(seed=5)
+        budgets = [0.4, 0.8, 1.6, 3.2]
+        warm = sweep_lambda(ds, budgets=budgets, rng=0, warm_start=True)
+        cold = sweep_lambda(ds, budgets=budgets, rng=0, warm_start=False)
+        for w, c in zip(warm, cold):
+            assert (
+                w.model.sensor_candidate_cols.tolist()
+                == c.model.sensor_candidate_cols.tolist()
+            )
+            assert w.relative_error == pytest.approx(c.relative_error)
+
+    def test_n_jobs_matches_serial(self):
+        ds = make_synthetic_dataset(seed=6)
+        budgets = [0.5, 1.0, 2.0]
+        serial = sweep_lambda(ds, budgets=budgets, rng=0, n_jobs=1)
+        threaded = sweep_lambda(ds, budgets=budgets, rng=0, n_jobs=2)
+        for s, t in zip(serial, threaded):
+            assert (
+                s.model.sensor_candidate_cols.tolist()
+                == t.model.sensor_candidate_cols.tolist()
+            )
+
+    def test_unsorted_budgets_match_sorted(self):
+        # Budgets are solved in ascending order regardless of input
+        # order, so the models must not depend on it.
+        ds = make_synthetic_dataset(seed=7)
+        fwd = sweep_lambda(ds, budgets=[0.5, 1.0, 2.0], rng=0)
+        rev = sweep_lambda(ds, budgets=[2.0, 1.0, 0.5], rng=0)
+        for f, r in zip(fwd, reversed(rev)):
+            assert f.budget == r.budget
+            assert (
+                f.model.sensor_candidate_cols.tolist()
+                == r.model.sensor_candidate_cols.tolist()
+            )
+
 
 class TestFitForSensorCount:
     def test_hits_small_target(self):
@@ -60,3 +99,23 @@ class TestFitForSensorCount:
     def test_rejects_bad_target(self):
         with pytest.raises(ValueError):
             fit_for_sensor_count(make_synthetic_dataset(), target_per_core=0.0)
+
+    def test_too_small_explicit_budget_hi_is_expanded(self):
+        # Regression: an explicit budget_hi whose count is below the
+        # target used to freeze the bracket, silently returning a model
+        # far from the requested count.
+        ds = make_synthetic_dataset()
+        model = fit_for_sensor_count(ds, target_per_core=4.0, budget_hi=0.2)
+        per_core = model.n_sensors / len(ds.core_ids)
+        assert per_core >= 3.0
+
+    def test_failed_probes_do_not_consume_probe_budget(self):
+        # Regression: budgets too small to select anything raise
+        # ValueError inside the bisection; those probes used to burn
+        # max_probes, degrading the bracket before any model was fit.
+        ds = make_synthetic_dataset()
+        model = fit_for_sensor_count(
+            ds, target_per_core=2.0, budget_lo=1e-9, max_probes=6
+        )
+        per_core = model.n_sensors / len(ds.core_ids)
+        assert abs(per_core - 2.0) <= 1.0

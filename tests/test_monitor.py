@@ -175,6 +175,60 @@ class TestDebounceEdgeCases:
         assert stats.alarm_cycles == 0
         assert stats.step_latency is not None  # latency still tracked
 
+    def test_alarm_cycles_match_episode_durations(self):
+        # Regression: episodes are backdated to the start of the
+        # debounce streak, but alarm_cycles used to count only from the
+        # assertion cycle, so the two bookkeepings disagreed by
+        # (debounce - 1) per episode.
+        mon = VoltageMonitor(identity_model(), threshold=0.85, debounce=3)
+        mon.run(
+            np.array(
+                [
+                    [0.9, 0.9],
+                    [0.84, 0.9],
+                    [0.83, 0.9],
+                    [0.82, 0.9],  # alarm asserts, episode backdated to 1
+                    [0.84, 0.9],
+                    [0.9, 0.9],   # closes episode [1..4]
+                    [0.84, 0.9],
+                    [0.83, 0.9],
+                    [0.84, 0.9],  # second episode [6..]
+                ]
+            )
+        )
+        stats = mon.finish()  # closes open episode at cycle 8
+        assert stats.events == 2
+        durations = [e.duration for e in mon.events]
+        assert durations == [4, 3]
+        assert stats.alarm_cycles == sum(durations)
+
+    @pytest.mark.parametrize("debounce", [1, 2, 3, 5])
+    def test_alarm_cycle_invariant_random_stream(self, debounce):
+        # sum(event durations) == alarm_cycles for any debounce.
+        rng = np.random.default_rng(debounce)
+        stream = np.full((200, 2), 0.9)
+        dips = rng.random(200) < 0.35
+        stream[dips, 0] = 0.8
+        mon = VoltageMonitor(identity_model(), threshold=0.85, debounce=debounce)
+        mon.run(stream)
+        stats = mon.finish()
+        assert stats.alarm_cycles == sum(e.duration for e in mon.events)
+        assert stats.events == len(mon.events)
+
+    def test_episode_min_includes_debounce_prefix(self):
+        # The deepest dip of an episode can occur before the alarm
+        # asserts; the backdated episode must report it.
+        mon = VoltageMonitor(identity_model(), threshold=0.85, debounce=3)
+        mon.run(
+            np.array(
+                [[0.80, 0.9], [0.83, 0.9], [0.84, 0.9], [0.9, 0.9]]
+            )
+        )
+        stats = mon.finish()
+        assert stats.events == 1
+        assert mon.events[0].min_predicted == pytest.approx(0.80)
+        assert mon.events[0].worst_block == 0
+
 
 class TestStepLatency:
     def test_latency_stats_populated(self):

@@ -72,6 +72,60 @@ class TestInstruments:
         assert Timer("t").summary().count == 0
 
 
+class TestThreadSafety:
+    """Instruments aggregate exactly under concurrent recording (the
+    path engine increments them from scope worker threads)."""
+
+    def _hammer(self, fn, n_threads=8, n_iter=2000):
+        import threading
+
+        threads = [
+            threading.Thread(target=lambda: [fn() for _ in range(n_iter)])
+            for _ in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return n_threads * n_iter
+
+    def test_concurrent_counter_increments_exact(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c")
+        total = self._hammer(counter.inc)
+        assert counter.value == total
+
+    def test_concurrent_timer_records_exact(self):
+        timer = Timer("t", max_samples=128)
+        total = self._hammer(lambda: timer.record(1e-6))
+        assert timer.count == total
+        assert timer.total == pytest.approx(total * 1e-6)
+        assert len(timer._samples) < 128
+
+    def test_concurrent_events_unique_seq(self):
+        reg = MetricsRegistry()
+        total = self._hammer(lambda: reg.event("e"), n_threads=4, n_iter=500)
+        assert len(reg.events) == total
+        seqs = [e["seq"] for e in reg.events]
+        assert len(set(seqs)) == total
+
+    def test_concurrent_jsonl_sink_lines_intact(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with JsonlSink(path) as sink:
+            reg = MetricsRegistry()
+            reg.add_sink(sink)
+            total = self._hammer(
+                lambda: reg.event("e", payload="x" * 50),
+                n_threads=4,
+                n_iter=250,
+            )
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        assert len(lines) == total
+        for line in lines:
+            json.loads(line)  # every line is one intact JSON document
+
+
 class TestNullMode:
     def test_disabled_registry_drops_everything(self):
         reg = MetricsRegistry(enabled=False)
