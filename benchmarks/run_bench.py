@@ -1,6 +1,7 @@
-"""Benchmark the λ-path engine against the sequential sweep baseline.
+"""Benchmarks: λ-path engine sweep, and the data-generation engine.
 
-Runs :func:`repro.core.lambda_sweep.sweep_lambda` twice over the same
+**Sweep mode** (default) runs
+:func:`repro.core.lambda_sweep.sweep_lambda` twice over the same
 budgets — once through the shared-Gram, warm-started
 :class:`~repro.core.path_engine.LambdaPathEngine` and once through the
 pre-engine sequential path (``warm_start=False``, ``reuse_gram=False``,
@@ -12,16 +13,30 @@ The committed ``BENCH_sweep.json`` at the repo root was produced by::
 
     python benchmarks/run_bench.py --out BENCH_sweep.json
 
-CI runs the quick mode as a smoke test::
+**Datagen mode** (``--datagen``) times end-to-end
+:func:`generate_dataset` through the sequential reference path
+(``batch=False``) and through the optimized engine (lockstep multi-RHS
+batching, compiled triangular-solve kernel, fused train+eval batch),
+verifies the voltage datasets agree (bit-identical when the compiled
+kernel is active; otherwise within 1 float32 ulp, the documented
+SuperLU multi-RHS rounding difference), and exercises the config-hash
+dataset cache cold and warm.  The committed ``BENCH_datagen.json`` was
+produced by::
+
+    python benchmarks/run_bench.py --datagen --out BENCH_datagen.json
+
+CI runs both smoke modes::
 
     python benchmarks/run_bench.py --quick --check-convergence
+    python benchmarks/run_bench.py --datagen --quick
 
-which skips the slow baseline, fits the engine path only, and exits
-nonzero if any constrained solve failed to converge or returned a
-budget-violating solution.
+the latter exits nonzero on an optimized-vs-reference dataset mismatch,
+a cache round-trip failure, or a cold-cache regression.
 
-Profile selection follows the benchmark harness: ``REPRO_PROFILE=paper``
-runs at full paper scale, the default ``fast`` profile runs in seconds.
+Profile selection for sweep mode follows the benchmark harness:
+``REPRO_PROFILE=paper`` runs at full paper scale, the default ``fast``
+profile runs in seconds.  Datagen mode uses its own dedicated setups
+(paper-scale sample counts on a reduced chip).
 """
 
 from __future__ import annotations
@@ -38,10 +53,18 @@ _SRC = os.path.join(os.path.dirname(_HERE), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
+import numpy as np
+
 import repro.obs as obs
 from repro.core.lambda_sweep import SweepPoint, sweep_lambda
 from repro.core.pipeline import PipelineConfig
-from repro.experiments.config import FAST_SETUP, PAPER_SETUP
+from repro.experiments.config import (
+    ChipConfig,
+    DataConfig,
+    ExperimentSetup,
+    FAST_SETUP,
+    PAPER_SETUP,
+)
 from repro.experiments.data_generation import generate_dataset
 
 #: The benchmark λ grid: the paper-relevant sparse regime (Table 1
@@ -54,6 +77,44 @@ QUICK_BUDGETS = (1.0, 2.0, 3.0)
 
 #: Sweep split seed — fixed so baseline and engine score identically.
 SWEEP_RNG = 0
+
+#: Datagen benchmark setup: all 19 benchmarks at the paper's sampling
+#: scale (pool of ~22,800 maps, 10,000 sampled per split) on a reduced
+#: chip so the reference path finishes in tens of seconds.  Train and
+#: eval share the step geometry, so the optimized engine can fuse both
+#: suites into one lockstep batch.
+DATAGEN_SETUP = ExperimentSetup(
+    chip=ChipConfig(
+        core_cols=2, core_rows=2, template="small",
+        grid_pitch=0.2, pad_pitch=1.5,
+    ),
+    train=DataConfig(
+        steps_per_benchmark=2400, warmup_steps=100,
+        record_every=2, n_samples=10000, seed=2015,
+    ),
+    eval=DataConfig(
+        steps_per_benchmark=2400, warmup_steps=100,
+        record_every=2, n_samples=10000, seed=7151,
+    ),
+    name="datagen-bench",
+)
+
+#: CI smoke variant of :data:`DATAGEN_SETUP` (seconds, same checks).
+DATAGEN_QUICK_SETUP = ExperimentSetup(
+    chip=ChipConfig(
+        core_cols=2, core_rows=1, template="small",
+        grid_pitch=0.2, pad_pitch=1.5,
+    ),
+    train=DataConfig(
+        steps_per_benchmark=240, warmup_steps=40,
+        record_every=2, n_samples=2000, seed=2015,
+    ),
+    eval=DataConfig(
+        steps_per_benchmark=240, warmup_steps=40,
+        record_every=2, n_samples=2000, seed=7151,
+    ),
+    name="datagen-quick",
+)
 
 
 def _solver_problems(points: Sequence[SweepPoint]) -> List[Dict]:
@@ -176,6 +237,124 @@ def run(
     return report
 
 
+def _max_ulp32(a: np.ndarray, b: np.ndarray) -> int:
+    """Largest float32 ulp distance between two voltage arrays.
+
+    Voltages are strictly positive, so the integer representations of
+    the float32 values are monotone and their difference counts ulps.
+    """
+    ai = np.asarray(a, dtype=np.float32).view(np.int32)
+    bi = np.asarray(b, dtype=np.float32).view(np.int32)
+    return int(np.max(np.abs(ai.astype(np.int64) - bi.astype(np.int64)), initial=0))
+
+
+def _compare_datasets(reference, optimized) -> Dict:
+    """Equality report between two GeneratedData instances."""
+    x_ulp = max(
+        _max_ulp32(reference.train.X, optimized.train.X),
+        _max_ulp32(reference.eval.X, optimized.eval.X),
+    )
+    f_ulp = max(
+        _max_ulp32(reference.train.F, optimized.train.F),
+        _max_ulp32(reference.eval.F, optimized.eval.F),
+    )
+    return {
+        "bit_identical": bool(
+            np.array_equal(reference.train.X, optimized.train.X)
+            and np.array_equal(reference.train.F, optimized.train.F)
+            and np.array_equal(reference.eval.X, optimized.eval.X)
+            and np.array_equal(reference.eval.F, optimized.eval.F)
+        ),
+        "max_ulp32": max(x_ulp, f_ulp),
+        "critical_equal": reference.critical == optimized.critical,
+        "shapes_equal": bool(
+            reference.train.X.shape == optimized.train.X.shape
+            and reference.eval.X.shape == optimized.eval.X.shape
+        ),
+    }
+
+
+def run_datagen(quick: bool = False) -> Dict:
+    """Benchmark generate_dataset: reference vs optimized, plus cache."""
+    import tempfile
+
+    setup = DATAGEN_QUICK_SETUP if quick else DATAGEN_SETUP
+    problems: List[Dict] = []
+
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        t0 = time.perf_counter()
+        reference = generate_dataset(setup, batch=False)
+        reference_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        optimized = generate_dataset(setup)
+        optimized_s = time.perf_counter() - t0
+
+        with tempfile.TemporaryDirectory() as cache_root:
+            t0 = time.perf_counter()
+            cold = generate_dataset(setup, cache_dir=cache_root)
+            cache_cold_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            warm = generate_dataset(setup, cache_dir=cache_root)
+            cache_warm_s = time.perf_counter() - t0
+        counters = dict(registry.snapshot()["counters"])
+
+    equality = _compare_datasets(reference, optimized)
+    cache_equality = _compare_datasets(optimized, warm)
+    uses_kernel = optimized.chip.solver.uses_kernel
+
+    # With the compiled kernel every path performs identical arithmetic;
+    # the SuperLU fallback's blocked multi-RHS solve may differ by one
+    # float32 ulp per recorded value.
+    allowed_ulp = 0 if uses_kernel else 1
+    if not equality["shapes_equal"] or not equality["critical_equal"]:
+        problems.append({"kind": "structure_mismatch", **equality})
+    elif equality["max_ulp32"] > allowed_ulp:
+        problems.append(
+            {
+                "kind": "dataset_mismatch",
+                "max_ulp32": equality["max_ulp32"],
+                "allowed_ulp32": allowed_ulp,
+            }
+        )
+    if not cold.from_cache and not warm.from_cache:
+        problems.append({"kind": "cache_never_hit"})
+    if not cache_equality["bit_identical"] or not cache_equality["critical_equal"]:
+        problems.append({"kind": "cache_roundtrip_mismatch", **cache_equality})
+    # Storing the entry should not dominate generation (generous bound:
+    # the 1-CPU CI runners are noisy).
+    if cache_cold_s > 2.0 * optimized_s + 2.0:
+        problems.append(
+            {
+                "kind": "cold_cache_regression",
+                "cache_cold_s": cache_cold_s,
+                "optimized_s": optimized_s,
+            }
+        )
+
+    return {
+        "mode": "datagen",
+        "profile": setup.name,
+        "n_benchmarks": len(setup.train.benchmarks) + len(setup.eval.benchmarks),
+        "steps_per_benchmark": setup.train.steps_per_benchmark,
+        "n_train": optimized.train.n_samples,
+        "n_eval": optimized.eval.n_samples,
+        "uses_kernel": uses_kernel,
+        "reference_s": reference_s,
+        "optimized_s": optimized_s,
+        "speedup": reference_s / optimized_s,
+        "cache_cold_s": cache_cold_s,
+        "cache_warm_s": cache_warm_s,
+        "cache_speedup": cache_cold_s / cache_warm_s,
+        "equality": equality,
+        "cache_equality": cache_equality,
+        "counters": {
+            k: v for k, v in counters.items() if k.startswith("datagen.")
+        },
+        "problems": problems,
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Benchmark the λ-path engine against the sequential "
@@ -205,9 +384,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="exit nonzero if any constrained solve failed to converge "
         "or violated its budget",
     )
+    parser.add_argument(
+        "--datagen",
+        action="store_true",
+        help="benchmark the data-generation engine instead of the λ "
+        "sweep; exits nonzero on reference mismatch or cache problems",
+    )
     args = parser.parse_args(argv)
     if args.n_jobs < 1:
         parser.error("--n-jobs must be >= 1")
+
+    if args.datagen:
+        report = run_datagen(quick=args.quick)
+        print(
+            f"datagen profile: {report['profile']}  "
+            f"kernel: {report['uses_kernel']}"
+        )
+        print(
+            f"reference: {report['reference_s']:.2f}s  "
+            f"optimized: {report['optimized_s']:.2f}s  "
+            f"speedup: {report['speedup']:.2f}x"
+        )
+        print(
+            f"cache: cold {report['cache_cold_s']:.2f}s  "
+            f"warm {report['cache_warm_s']:.2f}s  "
+            f"({report['cache_speedup']:.0f}x)"
+        )
+        print(
+            f"equality: bit_identical={report['equality']['bit_identical']} "
+            f"max_ulp32={report['equality']['max_ulp32']}"
+        )
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"report written to {args.out}")
+        if report["problems"]:
+            print(f"{len(report['problems'])} problem(s):")
+            for problem in report["problems"]:
+                print(f"  {problem}")
+            return 1
+        return 0
 
     budgets = QUICK_BUDGETS if args.quick else FULL_BUDGETS
     report = run(budgets, n_jobs=args.n_jobs, skip_baseline=args.quick)

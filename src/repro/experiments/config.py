@@ -192,9 +192,18 @@ class ExperimentSetup:
     name: str = "paper"
 
     def cache_key(self) -> str:
-        """Stable hash of the full configuration (for dataset caching)."""
+        """Stable hash of the full configuration (for dataset caching).
+
+        The payload carries a ``format`` salt: bumping it (e.g. when a
+        generation-affecting default or the cache layout changes
+        incompatibly) moves every key, so stale entries are never
+        matched again.
+        """
         payload = json.dumps(
             {
+                # 3: initial operating points moved from per-call
+                # spsolve to a cached DC factorization.
+                "format": 3,
                 "chip": asdict(self.chip),
                 "train": asdict(self.train),
                 "eval": asdict(self.eval),

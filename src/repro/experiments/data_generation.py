@@ -8,14 +8,33 @@ Chains the substrates together:
 4. voltage-map sampling,
 
 then identifies the noise-critical node of every block and assembles
-the (X, F) training dataset.  Generated datasets can be cached on disk
-keyed by the configuration hash.
+the (X, F) training dataset.
+
+Three execution modes generate the maps:
+
+* **sequential** (``batch=False``) — one benchmark at a time through
+  :meth:`TransientSolver.simulate`; the reference path every other
+  mode is validated against.
+* **batched** (the default) — all benchmarks integrate in lockstep
+  through :meth:`TransientSolver.simulate_many`, one multi-RHS LU
+  solve per timestep.
+* **process-parallel** (``n_jobs > 1``) — benchmarks are partitioned
+  over worker processes, each running the batched engine on its share;
+  results are reassembled in configuration order, so the output is
+  independent of ``n_jobs`` given the same engine mode.
+
+Generated datasets are cached on disk keyed by the configuration hash
+(:meth:`ExperimentSetup.cache_key`): point ``cache_dir`` (or the
+``REPRO_DATASET_CACHE`` environment variable) at a directory and
+repeated :func:`generate_dataset` calls skip simulation entirely.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+import json
+import os
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,10 +52,11 @@ from repro.powergrid.transient import TransientSolver
 from repro.voltage.critical import select_critical_nodes, select_representative_nodes
 from repro.voltage.dataset import VoltageDataset
 from repro.voltage.maps import VoltageMapSet
+from repro.voltage.persistence import load_dataset, save_dataset
 from repro.voltage.sampling import sample_maps
 from repro.workload.activity import generate_activity
 from repro.workload.benchmarks import get_benchmark
-from repro.workload.current_map import CurrentMapper
+from repro.workload.current_map import CurrentMapper, TraceLoad, TraceLoadBatch
 from repro.workload.power_model import McPATLikePowerModel, PowerModelConfig
 from repro.utils.rng import seed_for
 
@@ -46,8 +66,15 @@ __all__ = [
     "generate_maps",
     "build_dataset",
     "generate_dataset",
+    "dataset_cache_path",
     "simulate_benchmark_trace",
 ]
+
+#: Environment variable naming the default dataset cache directory.
+CACHE_ENV_VAR = "REPRO_DATASET_CACHE"
+
+#: On-disk layout version of one cache entry (meta.json + npz files).
+_CACHE_FORMAT = 1
 
 
 @dataclass
@@ -143,10 +170,10 @@ def _build_chip(config: ChipConfig) -> ChipModel:
     )
 
 
-def _simulate_one(
+def _benchmark_load(
     chip: ChipModel, benchmark: str, data: DataConfig
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Simulate one benchmark; returns (voltages, times) of its maps."""
+) -> TraceLoad:
+    """Activity -> power -> stateless node-current load for one benchmark."""
     spec = get_benchmark(benchmark)
     total_steps = data.warmup_steps + data.steps_per_benchmark
     traces = generate_activity(
@@ -162,9 +189,20 @@ def _simulate_one(
         burst_boost=data.burst_boost,
     )
     power = chip.power_model.block_power(traces)
-    chip.mapper.bind(power)
+    return chip.mapper.bound(power)
+
+
+def _simulate_one(
+    chip: ChipModel, benchmark: str, data: DataConfig
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Simulate one benchmark; returns (voltages, times) of its maps.
+
+    This is the sequential reference path: the batched and parallel
+    engines are validated against its output.
+    """
+    load = _benchmark_load(chip, benchmark, data)
     result = chip.solver.simulate(
-        chip.mapper,
+        load,
         n_steps=data.steps_per_benchmark,
         record_every=data.record_every,
         warmup_steps=data.warmup_steps,
@@ -172,19 +210,148 @@ def _simulate_one(
     return result.voltages.astype(np.float32), result.times
 
 
+def _record_pool(
+    chip: ChipModel, data: DataConfig, n_loads: int
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """One pooled float32 record array + its per-load row-block views.
+
+    The views go to :meth:`TransientSolver.simulate_many` as
+    ``record_out``, so recorded maps land directly in their final pool
+    rows — no post-hoc stacking copy (which, at ~65 MB per suite,
+    otherwise rivals the solve time).
+    """
+    n_records = data.maps_per_benchmark
+    pool = np.empty(
+        (n_loads * n_records, chip.grid.n_nodes), dtype=np.float32
+    )
+    views = [
+        pool[i * n_records : (i + 1) * n_records] for i in range(n_loads)
+    ]
+    return pool, views
+
+
+def _simulate_batch(
+    chip: ChipModel, names: Sequence[str], data: DataConfig, exact: bool
+) -> Tuple[List[Tuple[np.ndarray, np.ndarray]], np.ndarray]:
+    """Simulate ``names`` in lockstep.
+
+    Returns the per-name ``(voltages, times)`` pairs plus the pooled
+    record array the voltages are views into (row blocks in ``names``
+    order).
+    """
+    registry = get_registry()
+    loads = TraceLoadBatch([_benchmark_load(chip, b, data) for b in names])
+    pool, record_out = _record_pool(chip, data, len(names))
+    with span(
+        "datagen.batch_solve",
+        n_benchmarks=len(names),
+        n_steps=data.steps_per_benchmark,
+        exact=exact,
+    ):
+        results = chip.solver.simulate_many(
+            loads,
+            n_steps=data.steps_per_benchmark,
+            record_every=data.record_every,
+            warmup_steps=data.warmup_steps,
+            column_solve=exact,
+            record_out=record_out,
+        )
+    registry.counter("datagen.batch_solve").inc()
+    return [(r.voltages, r.times) for r in results], pool
+
+
+def _parallel_worker(args: Tuple[ChipConfig, DataConfig, List[str], bool]) -> Dict:
+    """Worker entry point: rebuild the chip, run one batched share.
+
+    The LU factorization is not picklable, so each worker rebuilds the
+    chip from its :class:`ChipConfig` (cheap next to the simulation it
+    amortizes).  Metrics recorded in the worker cannot reach the
+    parent's registry, so counter values are returned for aggregation.
+    """
+    import repro.obs as obs
+
+    config, data, names, exact = args
+    registry = obs.enable()
+    chip = _build_chip(config)
+    results, _ = _simulate_batch(chip, names, data, exact)
+    counters = dict(registry.snapshot()["counters"])
+    obs.disable()
+    return {
+        "names": list(names),
+        "results": results,
+        "counters": counters,
+    }
+
+
 def generate_maps(
-    chip: ChipModel, data: DataConfig, verbose: bool = False
+    chip: ChipModel,
+    data: DataConfig,
+    verbose: bool = False,
+    *,
+    batch: bool = True,
+    n_jobs: int = 1,
+    exact: bool = False,
 ) -> VoltageMapSet:
-    """Simulate every benchmark and pool the sampled voltage maps."""
+    """Simulate every benchmark and pool the sampled voltage maps.
+
+    Parameters
+    ----------
+    chip, data:
+        The chip model and generation configuration.
+    verbose:
+        Print per-benchmark progress.
+    batch:
+        Use the lockstep multi-RHS engine (default).  ``False`` runs
+        the sequential reference path.
+    n_jobs:
+        Worker processes; > 1 partitions the benchmarks round-robin
+        over processes each running the batched engine.  Output
+        ordering is always ``data.benchmarks`` order, independent of
+        ``n_jobs``.
+    exact:
+        Solve each benchmark's RHS column through SuperLU's single-RHS
+        kernel, making batched output bit-identical to the sequential
+        path (the default blocked kernel matches it to ~1 float64 ulp).
+        Only meaningful with ``batch=True`` or ``n_jobs > 1``.
+    """
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    names = list(data.benchmarks)
+    registry = get_registry()
+
+    if n_jobs > 1 and len(names) > 1:
+        results = _maps_parallel(chip, names, data, min(n_jobs, len(names)), exact)
+    elif batch:
+        pairs, pool = _simulate_batch(chip, names, data, exact)
+        return _assemble_maps(names, data, pairs, verbose, voltages=pool)
+    else:
+        results = {}
+        for benchmark in names:
+            with span("datagen.benchmark", benchmark=benchmark) as sp:
+                results[benchmark] = _simulate_one(chip, benchmark, data)
+                sp.set_attribute("n_maps", int(results[benchmark][0].shape[0]))
+
+    return _assemble_maps(names, data, [results[b] for b in names], verbose)
+
+
+def _assemble_maps(
+    names: List[str],
+    data: DataConfig,
+    pairs: List[Tuple[np.ndarray, np.ndarray]],
+    verbose: bool,
+    voltages: Optional[np.ndarray] = None,
+) -> VoltageMapSet:
+    """Pool per-benchmark (voltages, times) pairs into a map set.
+
+    ``voltages`` may pass the already-pooled record array when the
+    pairs' voltage arrays are row-block views into it (in ``names``
+    order), skipping the stacking copy.
+    """
+    registry = get_registry()
     volts: List[np.ndarray] = []
     labels: List[np.ndarray] = []
     times: List[np.ndarray] = []
-    names = list(data.benchmarks)
-    registry = get_registry()
-    for idx, benchmark in enumerate(names):
-        with span("datagen.benchmark", benchmark=benchmark) as sp:
-            v, t = _simulate_one(chip, benchmark, data)
-            sp.set_attribute("n_maps", int(v.shape[0]))
+    for idx, (benchmark, (v, t)) in enumerate(zip(names, pairs)):
         registry.event(
             "datagen.benchmark",
             benchmark=benchmark,
@@ -200,12 +367,108 @@ def generate_maps(
                 f"  [{idx + 1}/{len(names)}] {benchmark}: {v.shape[0]} maps, "
                 f"min {v.min():.3f} V"
             )
+    if voltages is None:
+        voltages = np.vstack(volts)
+    elif voltages.shape[0] != sum(v.shape[0] for v in volts):
+        raise ValueError(
+            f"pooled voltages have {voltages.shape[0]} rows, "
+            f"pairs hold {sum(v.shape[0] for v in volts)}"
+        )
     return VoltageMapSet(
-        voltages=np.vstack(volts),
+        voltages=voltages,
         benchmark_of_sample=np.concatenate(labels),
         benchmark_names=names,
         times=np.concatenate(times),
     )
+
+
+def _generate_maps_fused(
+    chip: ChipModel,
+    train: DataConfig,
+    eval_cfg: DataConfig,
+    verbose: bool,
+    exact: bool,
+) -> Tuple[VoltageMapSet, VoltageMapSet]:
+    """Simulate the train AND eval suites as one lockstep batch.
+
+    When both configs share the step geometry (steps, warmup, record
+    cadence) every benchmark of both pools can ride the same multi-RHS
+    solves, halving the number of factor traversals of a full dataset
+    generation.  Callers must ensure the solve path is width-invariant
+    (compiled kernel, or ``exact=True``) so fusing cannot perturb
+    results.
+    """
+    registry = get_registry()
+    names_t = list(train.benchmarks)
+    names_e = list(eval_cfg.benchmarks)
+    loads = TraceLoadBatch(
+        [_benchmark_load(chip, b, train) for b in names_t]
+        + [_benchmark_load(chip, b, eval_cfg) for b in names_e]
+    )
+    pool_t, views_t = _record_pool(chip, train, len(names_t))
+    pool_e, views_e = _record_pool(chip, eval_cfg, len(names_e))
+    with span(
+        "datagen.batch_solve",
+        n_benchmarks=len(loads),
+        n_steps=train.steps_per_benchmark,
+        exact=exact,
+        fused=True,
+    ):
+        results = chip.solver.simulate_many(
+            loads,
+            n_steps=train.steps_per_benchmark,
+            record_every=train.record_every,
+            warmup_steps=train.warmup_steps,
+            column_solve=exact,
+            record_out=views_t + views_e,
+        )
+    registry.counter("datagen.batch_solve").inc()
+    registry.counter("datagen.fused_batch").inc()
+    pairs = [(r.voltages, r.times) for r in results]
+    train_pool = _assemble_maps(
+        names_t, train, pairs[: len(names_t)], verbose, voltages=pool_t
+    )
+    eval_pool = _assemble_maps(
+        names_e, eval_cfg, pairs[len(names_t):], verbose, voltages=pool_e
+    )
+    return train_pool, eval_pool
+
+
+def _maps_parallel(
+    chip: ChipModel,
+    names: List[str],
+    data: DataConfig,
+    n_jobs: int,
+    exact: bool,
+) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+    """Fan the benchmarks out over worker processes; aggregate metrics."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    registry = get_registry()
+    shares = [names[i::n_jobs] for i in range(n_jobs)]
+    results: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    with span("datagen.parallel", n_jobs=n_jobs, n_benchmarks=len(names)):
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            payloads = list(
+                pool.map(
+                    _parallel_worker,
+                    [(chip.config, data, share, exact) for share in shares],
+                )
+            )
+    for worker_id, payload in enumerate(payloads):
+        registry.event(
+            "datagen.worker",
+            worker=worker_id,
+            benchmarks=list(payload["names"]),
+        )
+        for name, value in payload["counters"].items():
+            registry.counter(name).inc(int(value))
+        for benchmark, result in zip(payload["names"], payload["results"]):
+            results[benchmark] = result
+    missing = [b for b in names if b not in results]
+    if missing:  # pragma: no cover - defensive
+        raise RuntimeError(f"parallel generation lost benchmarks: {missing}")
+    return results
 
 
 def build_dataset(
@@ -299,12 +562,89 @@ class GeneratedData:
     train: VoltageDataset
     eval: VoltageDataset
     critical: Dict[str, int]
+    #: The generating setup (None for hand-assembled instances).
+    setup: Optional[ExperimentSetup] = None
+    #: True when the datasets were loaded from the on-disk cache.
+    from_cache: bool = False
+
+
+# ----------------------------------------------------------------------
+# On-disk dataset cache
+# ----------------------------------------------------------------------
+
+def dataset_cache_path(
+    setup: ExperimentSetup, cache_dir: Optional[str] = None
+) -> Optional[str]:
+    """Cache-entry directory for ``setup``, or ``None`` when caching is off.
+
+    The entry lives at ``<root>/<name>-<cache_key>``, where ``root`` is
+    ``cache_dir`` or the ``REPRO_DATASET_CACHE`` environment variable.
+    Any configuration change moves the key, so a stale entry is simply
+    never looked at again (invalidation by construction).
+    """
+    root = cache_dir if cache_dir is not None else os.environ.get(CACHE_ENV_VAR)
+    if not root:
+        return None
+    return os.path.join(root, f"{setup.name}-{setup.cache_key()}")
+
+
+def _load_cached_dataset(
+    setup: ExperimentSetup, directory: str
+) -> Optional[Tuple[VoltageDataset, VoltageDataset, Dict[str, int]]]:
+    """Load one cache entry; ``None`` on miss or any validation failure."""
+    meta_path = os.path.join(directory, "meta.json")
+    try:
+        with open(meta_path, "r", encoding="utf-8") as fh:
+            meta = json.load(fh)
+        if meta.get("format") != _CACHE_FORMAT:
+            return None
+        if meta.get("cache_key") != setup.cache_key():
+            return None
+        # float32 values load losslessly into float64, so a cache hit
+        # returns datasets bit-identical to fresh generation.
+        train = load_dataset(os.path.join(directory, "train.npz"), dtype=np.float64)
+        eval_ds = load_dataset(os.path.join(directory, "eval.npz"), dtype=np.float64)
+        critical = {str(k): int(v) for k, v in meta["critical"].items()}
+        return train, eval_ds, critical
+    except (OSError, ValueError, KeyError, json.JSONDecodeError):
+        return None
+
+
+def _store_cached_dataset(
+    setup: ExperimentSetup,
+    directory: str,
+    train: VoltageDataset,
+    eval_ds: VoltageDataset,
+    critical: Dict[str, int],
+) -> None:
+    """Write one cache entry; meta.json lands last so readers never see
+    a partially written entry as valid."""
+    os.makedirs(directory, exist_ok=True)
+    save_dataset(os.path.join(directory, "train.npz"), train)
+    save_dataset(os.path.join(directory, "eval.npz"), eval_ds)
+    meta = {
+        "format": _CACHE_FORMAT,
+        "cache_key": setup.cache_key(),
+        "name": setup.name,
+        "critical": {k: int(v) for k, v in critical.items()},
+    }
+    tmp_path = os.path.join(directory, "meta.json.tmp")
+    with open(tmp_path, "w", encoding="utf-8") as fh:
+        json.dump(meta, fh, indent=2, sort_keys=True)
+    os.replace(tmp_path, os.path.join(directory, "meta.json"))
 
 
 def generate_dataset(
-    setup: ExperimentSetup, verbose: bool = False
+    setup: ExperimentSetup,
+    verbose: bool = False,
+    *,
+    batch: bool = True,
+    n_jobs: int = 1,
+    exact: bool = False,
+    cache_dir: Optional[str] = None,
+    refresh: bool = False,
 ) -> GeneratedData:
-    """Generate (or regenerate) the train/eval datasets of a setup.
+    """Generate (or load from cache) the train/eval datasets of a setup.
 
     The critical-node assignment is derived from the *training* maps
     and reused for evaluation, as a deployed monitoring system would.
@@ -315,27 +655,92 @@ def generate_dataset(
         The experiment profile.
     verbose:
         Print per-benchmark progress.
+    batch, n_jobs, exact:
+        Map-generation engine controls; see :func:`generate_maps`.
+    cache_dir:
+        Dataset cache root; defaults to the ``REPRO_DATASET_CACHE``
+        environment variable, and caching is disabled when neither is
+        set.  Entries are keyed by :meth:`ExperimentSetup.cache_key`,
+        so any configuration change regenerates.
+    refresh:
+        Regenerate even when a valid cache entry exists (the fresh
+        result overwrites the entry).
     """
+    registry = get_registry()
+    directory = dataset_cache_path(setup, cache_dir)
+
+    if directory is not None and not refresh:
+        cached = _load_cached_dataset(setup, directory)
+        if cached is not None:
+            registry.counter("datagen.cache_hit").inc()
+            registry.event(
+                "datagen.cache", outcome="hit", profile=setup.name, path=directory
+            )
+            if verbose:
+                print(f"dataset cache hit: {directory}")
+            train_ds, eval_ds, critical = cached
+            chip = build_chip(setup.chip)
+            return GeneratedData(
+                chip=chip,
+                train=train_ds,
+                eval=eval_ds,
+                critical=critical,
+                setup=setup,
+                from_cache=True,
+            )
+    if directory is not None:
+        registry.counter("datagen.cache_miss").inc()
+        registry.event(
+            "datagen.cache", outcome="miss", profile=setup.name, path=directory
+        )
+
     with span("datagen.dataset", profile=setup.name) as sp:
         chip = build_chip(setup.chip)
         if verbose:
             print(chip.floorplan.summary())
             print(chip.grid.summary())
 
-        if verbose:
-            print("simulating training benchmarks...")
-        with span("datagen.train_maps"):
-            train_pool = generate_maps(chip, setup.train, verbose=verbose)
+        # When both configs share the step geometry and the solve path
+        # does not depend on the batch width, train and eval suites ride
+        # one fused lockstep batch — half the factor traversals.
+        fused = (
+            batch
+            and n_jobs == 1
+            and setup.train.steps_per_benchmark == setup.eval.steps_per_benchmark
+            and setup.train.warmup_steps == setup.eval.warmup_steps
+            and setup.train.record_every == setup.eval.record_every
+            and (chip.solver.uses_kernel or exact)
+        )
+        eval_pool: Optional[VoltageMapSet] = None
+        if fused:
+            if verbose:
+                print("simulating train+eval benchmarks (fused batch)...")
+            with span("datagen.fused_maps"):
+                train_pool, eval_pool = _generate_maps_fused(
+                    chip, setup.train, setup.eval, verbose=verbose, exact=exact
+                )
+        else:
+            if verbose:
+                print("simulating training benchmarks...")
+            with span("datagen.train_maps"):
+                train_pool = generate_maps(
+                    chip, setup.train, verbose=verbose,
+                    batch=batch, n_jobs=n_jobs, exact=exact,
+                )
         n_train = min(setup.train.n_samples, train_pool.n_samples)
         train_maps = sample_maps(train_pool, n_train, rng=setup.train.seed)
         critical = select_critical_nodes(train_maps.voltages, chip.classification)
         train_ds = build_dataset(chip, train_maps, critical)
         del train_pool, train_maps
 
-        if verbose:
-            print("simulating evaluation benchmarks...")
-        with span("datagen.eval_maps"):
-            eval_pool = generate_maps(chip, setup.eval, verbose=verbose)
+        if eval_pool is None:
+            if verbose:
+                print("simulating evaluation benchmarks...")
+            with span("datagen.eval_maps"):
+                eval_pool = generate_maps(
+                    chip, setup.eval, verbose=verbose,
+                    batch=batch, n_jobs=n_jobs, exact=exact,
+                )
         n_eval = min(setup.eval.n_samples, eval_pool.n_samples)
         eval_maps = sample_maps(eval_pool, n_eval, rng=setup.eval.seed)
         eval_ds = build_dataset(chip, eval_maps, critical)
@@ -343,7 +748,19 @@ def generate_dataset(
 
         sp.set_attribute("n_train", train_ds.n_samples)
         sp.set_attribute("n_eval", eval_ds.n_samples)
-    return GeneratedData(chip=chip, train=train_ds, eval=eval_ds, critical=critical)
+
+    if directory is not None:
+        _store_cached_dataset(setup, directory, train_ds, eval_ds, critical)
+        if verbose:
+            print(f"dataset cached at: {directory}")
+    return GeneratedData(
+        chip=chip,
+        train=train_ds,
+        eval=eval_ds,
+        critical=critical,
+        setup=setup,
+        from_cache=False,
+    )
 
 
 def simulate_benchmark_trace(
@@ -351,25 +768,48 @@ def simulate_benchmark_trace(
     benchmark: str,
     n_steps: int,
     seed: int = 0,
-    warmup_steps: int = 50,
+    warmup_steps: Optional[int] = None,
+    base: Optional[DataConfig] = None,
 ) -> "tuple[np.ndarray, np.ndarray]":
     """Simulate a time-ordered full-map trace of one benchmark.
 
     Used by the Fig. 2 reproduction, which needs consecutive (not
     randomly sampled) voltage maps to plot predicted vs real traces.
 
+    Parameters
+    ----------
+    chip, benchmark, n_steps, seed:
+        What to simulate.
+    warmup_steps:
+        Warmup override; defaults to ``base.warmup_steps`` when a base
+        config is given, else 50.
+    base:
+        The experiment's :class:`DataConfig` — its warmup/ramp/phase
+        settings carry over so the trace reproduces the same dynamics
+        as the training maps (only benchmark, length and seed change).
+
     Returns
     -------
     (voltages, times):
         ``(n_steps, n_nodes)`` float array and matching times.
     """
-    data = DataConfig(
+    overrides = dict(
         benchmarks=(benchmark,),
         steps_per_benchmark=n_steps,
-        warmup_steps=warmup_steps,
         record_every=1,
         n_samples=n_steps,
         seed=seed,
     )
+    if base is not None:
+        data = replace(
+            base,
+            warmup_steps=base.warmup_steps if warmup_steps is None else warmup_steps,
+            **overrides,
+        )
+    else:
+        data = DataConfig(
+            warmup_steps=50 if warmup_steps is None else warmup_steps,
+            **overrides,
+        )
     voltages, times = _simulate_one(chip, benchmark, data)
     return np.asarray(voltages, dtype=float), times

@@ -89,7 +89,11 @@ def run_fig2(
     }
 
     voltages, times = simulate_benchmark_trace(
-        data.chip, benchmark, n_steps=n_steps, seed=trace_seed
+        data.chip,
+        benchmark,
+        n_steps=n_steps,
+        seed=trace_seed,
+        base=data.setup.train if data.setup is not None else None,
     )
     X_trace = voltages[:, dataset.candidate_nodes]
     F_trace = voltages[:, dataset.critical_nodes]

@@ -243,11 +243,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="stream structured events (solver convergence, datagen "
         "progress, monitor emergencies) as JSON lines to this file",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="dataset cache directory (defaults to $REPRO_DATASET_CACHE; "
+        "repeated runs of the same profile skip simulation)",
+    )
+    parser.add_argument(
+        "--datagen-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for benchmark transient simulation "
+        "(1 = in-process batched engine)",
+    )
     args = parser.parse_args(argv)
     if args.report and args.out is None:
         parser.error("--report requires --out")
     if args.n_jobs < 1:
         parser.error("--n-jobs must be >= 1")
+    if args.datagen_jobs < 1:
+        parser.error("--datagen-jobs must be >= 1")
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     for name in names:
@@ -262,7 +279,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             registry.add_sink(sink)
         print(f"profile: {setup.name}")
         t0 = time.time()
-        data = generate_dataset(setup, verbose=True)
+        data = generate_dataset(
+            setup,
+            verbose=True,
+            n_jobs=args.datagen_jobs,
+            cache_dir=args.cache_dir,
+        )
         print(f"data generated in {time.time() - t0:.1f}s: {data.train.summary()}")
 
         try:

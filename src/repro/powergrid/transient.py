@@ -9,21 +9,46 @@ benchmark, so generating the ~10,000 training voltage maps is fast.
 Pad branches (series R-L to the ideal supply) are handled with
 backward-Euler companion models; the inductor history current is carried
 as per-pad solver state.
+
+Two integration entry points exist:
+
+* :meth:`TransientSolver.simulate` — one benchmark, one triangular
+  solve per timestep.  This is the *reference implementation*: every
+  other path is validated against it.
+* :meth:`TransientSolver.simulate_many` — all benchmarks in lockstep.
+  The per-benchmark right-hand sides are stacked into an
+  ``(n_nodes, n_benchmarks)`` matrix and each timestep performs ONE
+  multi-RHS LU solve instead of ``n_benchmarks`` sequential runs,
+  which amortizes the Python per-step overhead and the reads of the LU
+  factors.
+
+Both entry points route their triangular solves through the same
+runtime-compiled kernel (:mod:`repro.powergrid.fastsolve`) when it is
+available, which walks the factors once per step for *all* benchmarks
+and — because its per-column operation sequence does not depend on the
+batch width — makes every integration mode bit-identical to the
+sequential reference.  Without the kernel (no C compiler, or
+``REPRO_DISABLE_CKERNEL`` set) solves fall back to ``SuperLU.solve``;
+there ``column_solve=True`` recovers bit-identity with
+:meth:`simulate` at roughly half the throughput of SuperLU's blocked
+multi-RHS path (which matches the reference to ~1 float64 ulp).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.powergrid.fastsolve import build_lu_kernel
 from repro.powergrid.grid import PowerGrid
-from repro.powergrid.ir_analysis import solve_dc
 from repro.powergrid.stamps import (
     pad_companion_conductance,
+    pad_resistive_conductance,
+    pad_scatter_matrix,
     stamp_capacitance,
     stamp_grid_conductance,
 )
@@ -115,6 +140,17 @@ class TransientSolver:
         self._pad_l_over_h = np.array(
             [p.inductance / self.timestep for p in grid.pads]
         )
+        # Combined companion factor g * (L/h), used every step by both
+        # integration paths; precomputing it keeps the per-step work to
+        # one multiply-add without changing any floating-point result.
+        self._pad_gl = self._pad_g * self._pad_l_over_h
+        # When every pad sits on its own node (the usual case) the pad
+        # injection is a direct fancy-index add; with duplicated nodes
+        # the precomputed scatter matrix accumulates like np.add.at.
+        self._pads_unique = (
+            np.unique(self._pad_nodes).shape[0] == self._pad_nodes.shape[0]
+        )
+        self._pad_scatter = None if self._pads_unique else pad_scatter_matrix(grid)
 
         pad_diag = np.zeros(n)
         np.add.at(pad_diag, self._pad_nodes, self._pad_g)
@@ -123,7 +159,33 @@ class TransientSolver:
             + sp.diags(self._cap_over_h, format="csc")
             + sp.diags(pad_diag, format="csc")
         )
-        self._lu = spla.splu(system.tocsc())
+        # MMD on A^T+A suits this symmetric mesh far better than the
+        # COLAMD default (~2/3 the fill, ~25% faster solves), and
+        # disabling equilibration lets the compiled kernel reuse the
+        # bare L/U factors.  The matrix is a diagonally dominant
+        # M-matrix, so equilibration never mattered for accuracy.
+        self._lu = spla.splu(
+            system.tocsc(),
+            permc_spec="MMD_AT_PLUS_A",
+            options={"Equil": False},
+        )
+        self._kernel = build_lu_kernel(self._lu)
+        # DC system factorization for initial_state, built on first use
+        # and reused across benchmarks (map generation computes one
+        # operating point per benchmark against the same matrix).
+        self._dc_lu = None
+        self._dc_pad_g: Optional[np.ndarray] = None
+
+    @property
+    def uses_kernel(self) -> bool:
+        """Whether solves go through the compiled multi-RHS kernel."""
+        return self._kernel is not None
+
+    def _solve1(self, rhs: np.ndarray) -> np.ndarray:
+        """Single-RHS solve via the kernel (or SuperLU fallback)."""
+        if self._kernel is not None:
+            return self._kernel.solve(rhs)
+        return self._lu.solve(rhs)
 
     # ------------------------------------------------------------------
     def initial_state(
@@ -131,15 +193,57 @@ class TransientSolver:
     ) -> "tuple[np.ndarray, np.ndarray]":
         """DC operating point ``(v0, pad_currents0)`` for a static load.
 
+        At DC the pad inductors are shorts, so each pad contributes its
+        resistive conductance to the supply (the same system
+        :func:`repro.powergrid.ir_analysis.solve_dc` builds); the
+        factorization is cached on the solver and reused across calls.
+
         Parameters
         ----------
         load:
             ``(n_nodes,)`` static sink currents in amperes (defaults to
             zero load, giving a flat map at VDD).
         """
+        n = self.grid.n_nodes
         if load is None:
-            load = np.zeros(self.grid.n_nodes)
-        return solve_dc(self.grid, load)
+            load = np.zeros(n)
+        load = np.asarray(load, dtype=float)
+        if load.shape != (n,):
+            raise ValueError(f"load must be ({n},), got {load.shape}")
+        if self._dc_lu is None:
+            pad_g = pad_resistive_conductance(self.grid)
+            pad_diag = np.zeros(n)
+            np.add.at(pad_diag, self._pad_nodes, pad_g)
+            system = stamp_grid_conductance(self.grid) + sp.diags(
+                pad_diag, format="csc"
+            )
+            self._dc_lu = spla.splu(system.tocsc())
+            self._dc_pad_g = pad_g
+        rhs = -load.copy()
+        np.add.at(rhs, self._pad_nodes, self._dc_pad_g * self.grid.vdd)
+        voltages = self._dc_lu.solve(rhs)
+        pad_currents = self._dc_pad_g * (
+            self.grid.vdd - voltages[self._pad_nodes]
+        )
+        return voltages, pad_currents
+
+    # ------------------------------------------------------------------
+    def _check_step_args(
+        self, n_steps: int, record_every: int, warmup_steps: int
+    ) -> None:
+        if n_steps <= 0:
+            raise ValueError(f"n_steps must be positive, got {n_steps}")
+        if record_every <= 0:
+            raise ValueError(f"record_every must be positive, got {record_every}")
+        if warmup_steps < 0:
+            raise ValueError(f"warmup_steps must be >= 0, got {warmup_steps}")
+
+    def _inject_pads(self, rhs: np.ndarray, injection: np.ndarray) -> None:
+        """Accumulate per-pad injections into ``rhs`` (vector or batch)."""
+        if self._pads_unique:
+            rhs[self._pad_nodes] += injection
+        else:
+            rhs += self._pad_scatter @ injection
 
     def simulate(
         self,
@@ -177,12 +281,7 @@ class TransientSolver:
         -------
         TransientResult
         """
-        if n_steps <= 0:
-            raise ValueError(f"n_steps must be positive, got {n_steps}")
-        if record_every <= 0:
-            raise ValueError(f"record_every must be positive, got {record_every}")
-        if warmup_steps < 0:
-            raise ValueError(f"warmup_steps must be >= 0, got {warmup_steps}")
+        self._check_step_args(n_steps, record_every, warmup_steps)
 
         n = self.grid.n_nodes
         total_steps = warmup_steps + n_steps
@@ -228,22 +327,20 @@ class TransientSolver:
         times = np.empty(n_records)
 
         vdd = self.grid.vdd
+        pad_g_vdd = self._pad_g * vdd
         record_slot = 0
+        next_record = warmup_steps
         for step in range(total_steps):
             rhs = self._cap_over_h * v
             rhs -= np.asarray(load_at(step), dtype=float)
-            pad_injection = self._pad_g * vdd + self._pad_g * self._pad_l_over_h * pad_i
-            np.add.at(rhs, self._pad_nodes, pad_injection)
-            v = self._lu.solve(rhs)
-            pad_i = (
-                self._pad_g * (vdd - v[self._pad_nodes])
-                + self._pad_g * self._pad_l_over_h * pad_i
-            )
-            recorded_step = step - warmup_steps
-            if recorded_step >= 0 and recorded_step % record_every == 0:
+            self._inject_pads(rhs, pad_g_vdd + self._pad_gl * pad_i)
+            v = self._solve1(rhs)
+            pad_i = self._pad_g * (vdd - v[self._pad_nodes]) + self._pad_gl * pad_i
+            if step == next_record:
                 voltages[record_slot] = v if rec_idx is None else v[rec_idx]
                 times[record_slot] = (step + 1) * self.timestep
                 record_slot += 1
+                next_record += record_every
 
         return TransientResult(
             times=times[:record_slot],
@@ -251,3 +348,274 @@ class TransientSolver:
             recorded_nodes=rec_idx,
             timestep=self.timestep,
         )
+
+    # ------------------------------------------------------------------
+    def _chunk_provider(
+        self, load: LoadSource, total_steps: int
+    ) -> Callable[[int, int], np.ndarray]:
+        """Normalize a load source to a ``(lo, hi) -> (hi-lo, n)`` reader."""
+        n = self.grid.n_nodes
+        between = getattr(load, "currents_between", None)
+        if between is not None:
+            return lambda lo, hi: np.asarray(between(lo, hi), dtype=float)
+        if callable(load):
+            return lambda lo, hi: np.stack(
+                [np.asarray(load(s), dtype=float) for s in range(lo, hi)]
+            )
+        load_arr = np.asarray(load, dtype=float)
+        if load_arr.ndim != 2 or load_arr.shape[1] != n:
+            raise ValueError(
+                f"load array must be (n_steps, {n}), got {load_arr.shape}"
+            )
+        if load_arr.shape[0] < total_steps:
+            raise ValueError(
+                f"load array has {load_arr.shape[0]} steps, "
+                f"need {total_steps} (warmup + recorded)"
+            )
+        return lambda lo, hi: load_arr[lo:hi]
+
+    def simulate_many(
+        self,
+        loads: Sequence[LoadSource],
+        n_steps: int,
+        record_every: int = 1,
+        record_nodes: Optional[Sequence[int]] = None,
+        warmup_steps: int = 0,
+        v0: Optional[np.ndarray] = None,
+        pad_current0: Optional[np.ndarray] = None,
+        column_solve: bool = False,
+        chunk_steps: int = 64,
+        record_dtype: Optional[np.dtype] = None,
+        record_out: Optional[Sequence[np.ndarray]] = None,
+    ) -> List[TransientResult]:
+        """Integrate many benchmarks in lockstep against one factorization.
+
+        All loads share the system matrix, so the per-step right-hand
+        sides are stacked into an ``(n_nodes, n_benchmarks)`` matrix and
+        each timestep performs one multi-RHS LU solve.  Loads are read
+        in chunks of ``chunk_steps`` steps; providers exposing
+        ``currents_between(start, stop)`` (see
+        :class:`repro.workload.current_map.TraceLoad`) turn the whole
+        chunk into one sparse-dense matmul, and a batch object exposing
+        ``currents_chunk(start, stop)`` (see
+        :class:`repro.workload.current_map.TraceLoadBatch`) fuses the
+        chunks of *all* benchmarks into a single matmul.
+
+        Parameters
+        ----------
+        loads:
+            One load source per benchmark — any mix of step callables,
+            ``(n_steps_total, n_nodes)`` arrays, and objects with a
+            ``currents_between`` method — or a single batch object
+            implementing ``__len__``/``__getitem__`` plus
+            ``currents_chunk(start, stop)`` returning the
+            ``(n_nodes, (stop - start) * n_loads)`` slab whose column
+            ``s * n_loads + b`` holds load ``b`` at step ``start + s``.
+        n_steps, record_every, record_nodes, warmup_steps:
+            As in :meth:`simulate`; shared by all benchmarks.
+        v0, pad_current0:
+            Optional ``(n_nodes, n_benchmarks)`` initial voltages and
+            ``(n_pads, n_benchmarks)`` pad currents.  When omitted each
+            benchmark starts at the DC operating point of its own
+            step-0 load, exactly like :meth:`simulate`.
+        column_solve:
+            Only meaningful on the SuperLU fallback path (compiled
+            kernel unavailable): ``True`` solves each benchmark's
+            column separately through SuperLU's single-RHS kernel —
+            bit-identical to :meth:`simulate`, at roughly half the
+            solve throughput of the blocked multi-RHS kernel (which
+            matches the reference to ~1 float64 ulp per step).  With
+            the compiled kernel every batch width is already
+            bit-identical to the reference, so the flag is ignored.
+        chunk_steps:
+            Load-precompute granularity in steps; bounds the transient
+            load buffer.  Has no effect on results.
+        record_dtype:
+            dtype of the recorded voltage arrays (default float64).
+            Recording float32 halves the footprint of map generation
+            and rounds exactly like a post-hoc ``astype``.
+        record_out:
+            Optional pre-allocated record buffers, one
+            ``(n_records, n_recorded)`` array per load (all the same
+            dtype, which overrides ``record_dtype``).  Passing slices
+            of one pooled array lets callers assemble a full dataset
+            with zero post-hoc copies; the returned results'
+            ``voltages`` are these buffers.
+
+        Returns
+        -------
+        list[TransientResult]
+            One result per load, in input order.
+        """
+        if len(loads) == 0:
+            raise ValueError("simulate_many requires at least one load")
+        self._check_step_args(n_steps, record_every, warmup_steps)
+        if chunk_steps <= 0:
+            raise ValueError(f"chunk_steps must be positive, got {chunk_steps}")
+
+        n = self.grid.n_nodes
+        n_pads = len(self.grid.pads)
+        n_b = len(loads)
+        total_steps = warmup_steps + n_steps
+        batch_chunk = getattr(loads, "currents_chunk", None)
+        items = [loads[b] for b in range(n_b)]
+        providers = [self._chunk_provider(load, total_steps) for load in items]
+
+        if v0 is None or pad_current0 is None:
+            v_cols = np.empty((n, n_b))
+            i_cols = np.empty((n_pads, n_b))
+            for b, provider in enumerate(providers):
+                v_b, i_b = self.initial_state(provider(0, 1)[0])
+                v_cols[:, b] = v_b
+                i_cols[:, b] = i_b
+            if v0 is None:
+                v0 = v_cols
+            if pad_current0 is None:
+                pad_current0 = i_cols
+        v = np.ascontiguousarray(v0, dtype=float).copy()
+        pad_i = np.ascontiguousarray(pad_current0, dtype=float).copy()
+        if v.shape != (n, n_b):
+            raise ValueError(f"v0 must be ({n}, {n_b}), got {v.shape}")
+        if pad_i.shape != (n_pads, n_b):
+            raise ValueError(
+                f"pad_current0 must be ({n_pads}, {n_b}), got {pad_i.shape}"
+            )
+
+        rec_idx = (
+            None if record_nodes is None else np.asarray(record_nodes, dtype=np.int64)
+        )
+        n_records = (n_steps + record_every - 1) // record_every
+        n_recorded = n if rec_idx is None else rec_idx.shape[0]
+        if record_out is not None:
+            records = list(record_out)
+            if len(records) != n_b:
+                raise ValueError(
+                    f"record_out must hold {n_b} buffers, got {len(records)}"
+                )
+            dtype = records[0].dtype
+            for buf in records:
+                if buf.shape != (n_records, n_recorded) or buf.dtype != dtype:
+                    raise ValueError(
+                        f"record_out buffers must all be ({n_records}, "
+                        f"{n_recorded}) of one dtype; got {buf.shape} "
+                        f"{buf.dtype}"
+                    )
+        else:
+            dtype = np.float64 if record_dtype is None else np.dtype(record_dtype)
+            records = [
+                np.empty((n_records, n_recorded), dtype=dtype) for _ in range(n_b)
+            ]
+        times = np.empty(n_records)
+
+        vdd = self.grid.vdd
+        pad_g_vdd = self._pad_g[:, np.newaxis] * vdd
+        cap_over_h = self._cap_over_h[:, np.newaxis]
+        pad_g = self._pad_g[:, np.newaxis]
+        pad_gl = self._pad_gl[:, np.newaxis]
+        kernel = self._kernel
+
+        # With the compiled kernel and one pad per node, the whole step
+        # (rhs build + pad injection + solve + pad update) runs as one
+        # fused C call; its expressions mirror the numpy ops below one
+        # for one, so both loops are bit-identical.
+        stepper = (
+            kernel.make_stepper(
+                self._cap_over_h, self._pad_nodes, self._pad_g,
+                self._pad_gl, self._pad_g * vdd, vdd, v, pad_i,
+            )
+            if kernel is not None and self._pads_unique
+            else None
+        )
+
+        if stepper is None:
+            # Reused per-step buffers; every out= op performs the same
+            # elementwise arithmetic as the reference path's
+            # expressions, so results stay bit-identical.
+            rhs = np.empty((n, n_b))
+            inj = np.empty((n_pads, n_b))
+            vp = np.empty((n_pads, n_b))
+            x_buf = np.empty((n, n_b))
+            work = np.empty((n, n_b))
+        rec_t = np.empty((n_b, n_recorded), dtype=dtype)
+
+        record_slot = 0
+        next_record = warmup_steps
+        for lo in range(0, total_steps, chunk_steps):
+            hi = min(lo + chunk_steps, total_steps)
+            if batch_chunk is not None:
+                flat = np.ascontiguousarray(batch_chunk(lo, hi), dtype=float)
+                if flat.shape != (n, (hi - lo) * n_b):
+                    raise ValueError(
+                        f"currents_chunk({lo}, {hi}) must be "
+                        f"({n}, {(hi - lo) * n_b}), got {flat.shape}"
+                    )
+                chunk = None
+            else:
+                chunk = np.empty((hi - lo, n, n_b))
+                for b, provider in enumerate(providers):
+                    chunk[:, :, b] = provider(lo, hi)
+            if stepper is not None:
+                if chunk is None:
+                    base = stepper.load_pointer(flat)
+                    row_stride = (hi - lo) * n_b
+                    step_stride = n_b
+                else:
+                    base = stepper.load_pointer(chunk)
+                    row_stride = n_b
+                    step_stride = n * n_b
+                for step in range(lo, hi):
+                    v = stepper.step(
+                        base + (step - lo) * step_stride, row_stride
+                    )
+                    if step == next_record:
+                        vr = v if rec_idx is None else v[rec_idx]
+                        np.copyto(rec_t, vr.T)
+                        for b in range(n_b):
+                            records[b][record_slot] = rec_t[b]
+                        times[record_slot] = (step + 1) * self.timestep
+                        record_slot += 1
+                        next_record += record_every
+                continue
+            for step in range(lo, hi):
+                np.multiply(cap_over_h, v, out=rhs)
+                if chunk is None:
+                    s = step - lo
+                    rhs -= flat[:, s * n_b : (s + 1) * n_b]
+                else:
+                    rhs -= chunk[step - lo]
+                np.multiply(pad_gl, pad_i, out=inj)
+                np.add(pad_g_vdd, inj, out=inj)
+                self._inject_pads(rhs, inj)
+                if kernel is not None:
+                    v = kernel.solve(rhs, out=x_buf, work=work)
+                elif column_solve:
+                    for b in range(n_b):
+                        v[:, b] = self._lu.solve(np.ascontiguousarray(rhs[:, b]))
+                else:
+                    v = self._lu.solve(rhs)
+                np.take(v, self._pad_nodes, axis=0, out=vp)
+                np.subtract(vdd, vp, out=vp)
+                np.multiply(pad_g, vp, out=vp)
+                np.multiply(pad_gl, pad_i, out=pad_i)
+                np.add(vp, pad_i, out=pad_i)
+                if step == next_record:
+                    # One transposing cast, then contiguous row copies:
+                    # ~30x cheaper than 19 strided column casts, and the
+                    # per-element rounding equals a per-column astype.
+                    vr = v if rec_idx is None else v[rec_idx]
+                    np.copyto(rec_t, vr.T)
+                    for b in range(n_b):
+                        records[b][record_slot] = rec_t[b]
+                    times[record_slot] = (step + 1) * self.timestep
+                    record_slot += 1
+                    next_record += record_every
+
+        return [
+            TransientResult(
+                times=times[:record_slot].copy(),
+                voltages=records[b][:record_slot],
+                recorded_nodes=None if rec_idx is None else rec_idx.copy(),
+                timestep=self.timestep,
+            )
+            for b in range(n_b)
+        ]

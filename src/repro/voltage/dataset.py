@@ -60,8 +60,14 @@ class VoltageDataset:
     vdd: float = 1.0
 
     def __post_init__(self) -> None:
-        self.X = np.asarray(self.X, dtype=float)
-        self.F = np.asarray(self.F, dtype=float)
+        # Keep float32 data at float32 (persisted datasets record their
+        # storage precision); anything else coerces to float64.
+        self.X = np.asarray(self.X)
+        self.F = np.asarray(self.F)
+        if self.X.dtype not in (np.float32, np.float64):
+            self.X = np.asarray(self.X, dtype=float)
+        if self.F.dtype not in (np.float32, np.float64):
+            self.F = np.asarray(self.F, dtype=float)
         self.candidate_nodes = np.asarray(self.candidate_nodes, dtype=np.int64)
         self.candidate_cores = np.asarray(self.candidate_cores, dtype=np.int64)
         self.critical_nodes = np.asarray(self.critical_nodes, dtype=np.int64)

@@ -4,12 +4,24 @@ Generating the paper-scale dataset takes minutes of transient
 simulation; persisting it lets experiment sessions, notebooks, and CI
 reuse one generation.  The format is a single compressed ``.npz`` with
 the arrays plus a JSON-encoded metadata blob.
+
+Format history
+--------------
+
+* **v1** — X/F always stored as float32; the storage precision was not
+  recorded, and loading silently re-upcast to float64.
+* **v2** (current) — X/F are stored at a caller-chosen precision
+  (float32 by default — voltage maps are float32-valued already), the
+  storage dtype is recorded in ``meta["dtype"]``, and loading preserves
+  it unless an explicit ``dtype`` override is given.  v1 files still
+  load (as float64, their historical behaviour).
 """
 
 from __future__ import annotations
 
 import json
 import os
+from typing import Optional
 
 import numpy as np
 
@@ -17,10 +29,15 @@ from repro.voltage.dataset import VoltageDataset
 
 __all__ = ["save_dataset", "load_dataset"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+#: Dtypes X/F may be stored at (and loaded back as).
+_ALLOWED_DTYPES = ("float32", "float64")
 
 
-def save_dataset(path: str, dataset: VoltageDataset) -> None:
+def save_dataset(
+    path: str, dataset: VoltageDataset, dtype: "np.dtype | str" = np.float32
+) -> None:
     """Persist ``dataset`` as a compressed ``.npz`` at ``path``.
 
     Parameters
@@ -30,19 +47,30 @@ def save_dataset(path: str, dataset: VoltageDataset) -> None:
         are created.
     dataset:
         The dataset to save.
+    dtype:
+        Storage precision of the X/F matrices (float32 or float64).
+        The default float32 halves the file size and is lossless for
+        datasets whose maps were recorded in float32 (every generated
+        dataset); the chosen dtype is recorded in the metadata.
     """
+    dtype = np.dtype(dtype)
+    if dtype.name not in _ALLOWED_DTYPES:
+        raise ValueError(
+            f"dtype must be one of {_ALLOWED_DTYPES}, got {dtype.name!r}"
+        )
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     meta = {
         "version": _FORMAT_VERSION,
+        "dtype": dtype.name,
         "block_names": dataset.block_names,
         "benchmark_names": dataset.benchmark_names,
         "vdd": dataset.vdd,
     }
     np.savez_compressed(
         path,
-        X=np.asarray(dataset.X, dtype=np.float32),
-        F=np.asarray(dataset.F, dtype=np.float32),
+        X=np.asarray(dataset.X, dtype=dtype),
+        F=np.asarray(dataset.F, dtype=dtype),
         candidate_nodes=dataset.candidate_nodes,
         candidate_cores=dataset.candidate_cores,
         critical_nodes=dataset.critical_nodes,
@@ -52,8 +80,19 @@ def save_dataset(path: str, dataset: VoltageDataset) -> None:
     )
 
 
-def load_dataset(path: str) -> VoltageDataset:
+def load_dataset(
+    path: str, dtype: "Optional[np.dtype | str]" = None
+) -> VoltageDataset:
     """Load a dataset saved by :func:`save_dataset`.
+
+    Parameters
+    ----------
+    path:
+        The ``.npz`` file to load.
+    dtype:
+        Optional X/F precision override.  By default v2 files keep
+        their stored dtype (recorded in the metadata) and v1 files
+        load as float64, matching how they always loaded.
 
     Raises
     ------
@@ -62,13 +101,24 @@ def load_dataset(path: str) -> VoltageDataset:
     """
     with np.load(path) as npz:
         meta = json.loads(bytes(npz["meta"].tobytes()).decode("utf-8"))
-        if meta.get("version") != _FORMAT_VERSION:
+        version = meta.get("version")
+        if version == 1:
+            # v1 never recorded its storage dtype; preserve its
+            # historical load-as-float64 behaviour.
+            load_dtype = np.dtype(np.float64 if dtype is None else dtype)
+        elif version == _FORMAT_VERSION:
+            load_dtype = np.dtype(meta["dtype"] if dtype is None else dtype)
+        else:
             raise ValueError(
-                f"unsupported dataset format version {meta.get('version')!r}"
+                f"unsupported dataset format version {version!r}"
+            )
+        if load_dtype.name not in _ALLOWED_DTYPES:
+            raise ValueError(
+                f"dtype must be one of {_ALLOWED_DTYPES}, got {load_dtype.name!r}"
             )
         return VoltageDataset(
-            X=np.asarray(npz["X"], dtype=float),
-            F=np.asarray(npz["F"], dtype=float),
+            X=np.asarray(npz["X"], dtype=load_dtype),
+            F=np.asarray(npz["F"], dtype=load_dtype),
             candidate_nodes=npz["candidate_nodes"],
             candidate_cores=npz["candidate_cores"],
             critical_nodes=npz["critical_nodes"],

@@ -120,8 +120,7 @@ def generate_gating_schedule(
     rng = make_rng(rng)
 
     n_channels = duty_cycles.shape[0]
-    gate = np.ones((n_steps, n_channels))
-    events: List[GatingEvent] = []
+    gate = np.empty((n_steps, n_channels))
 
     # Stationary ON probability d satisfies  p_on / (p_on + p_off) = d.
     # We fix the mean event rate at `gating_rate` and split it:
@@ -130,21 +129,73 @@ def generate_gating_schedule(
     p_off = np.clip(2.0 * gating_rate * (1.0 - duty_cycles), 0.0, 1.0)
     p_on = np.clip(2.0 * gating_rate * duty_cycles, 0.0, 1.0)
 
-    state = (rng.random(n_channels) < duty_cycles).astype(float)
-    level = state.copy()
-    for step in range(n_steps):
-        draws = rng.random(n_channels)
-        for ch in range(n_channels):
-            if state[ch] == 1.0 and draws[ch] < p_off[ch]:
-                state[ch] = 0.0
-                events.append(GatingEvent(step=step, channel=ch, kind="sleep"))
-            elif state[ch] == 0.0 and draws[ch] < p_on[ch]:
-                state[ch] = 1.0
-                events.append(GatingEvent(step=step, channel=ch, kind="wake"))
-        # The applied level slews toward the target state by at most
-        # 1/ramp_steps per step (linear wake/sleep ramp).
-        step_size = 1.0 / ramp_steps
-        level = np.clip(level + np.clip(state - level, -step_size, step_size), 0.0, 1.0)
-        gate[step] = level
+    state0 = (rng.random(n_channels) < duty_cycles).astype(float)
+    # The PRNG fills a (n_steps, n_channels) request in C order, i.e.
+    # exactly the stream that per-step rng.random(n_channels) calls
+    # would consume, so drawing everything upfront changes no result.
+    draws = rng.random((n_steps, n_channels))
 
+    # The Markov walk only changes state at steps whose draw clears a
+    # transition threshold; visiting just those candidates (instead of
+    # every step x channel) keeps the Python work proportional to the
+    # event count while producing the identical event sequence.
+    step_size = 1.0 / ramp_steps
+    keyed_events: List["tuple[int, int, str]"] = []
+    for ch in range(n_channels):
+        off_p = p_off[ch]
+        on_p = p_on[ch]
+        col_draws = draws[:, ch]
+        candidates = np.nonzero(col_draws < max(off_p, on_p))[0]
+        state = state0[ch]
+        transitions: List["tuple[int, str]"] = []
+        for step in candidates:
+            d = col_draws[step]
+            if state == 1.0:
+                if d < off_p:
+                    state = 0.0
+                    transitions.append((int(step), "sleep"))
+            elif d < on_p:
+                state = 1.0
+                transitions.append((int(step), "wake"))
+        keyed_events.extend((step, ch, kind) for step, kind in transitions)
+
+        # Between transitions the target state is constant, so the
+        # per-step level recurrence
+        #   level = clip(level + clip(state - level, -ss, ss), 0, 1)
+        # ramps for at most ~ramp_steps steps and then repeats itself;
+        # replaying it with scalar arithmetic until it converges and
+        # filling the rest as a constant slice reproduces every value
+        # bit-for-bit.
+        col = gate[:, ch]
+        starts = [0] + [step for step, _ in transitions]
+        ends = [step for step, _ in transitions] + [n_steps]
+        targets = [float(state0[ch])] + [
+            1.0 if kind == "wake" else 0.0 for _, kind in transitions
+        ]
+        level = float(state0[ch])
+        for seg_start, seg_end, target in zip(starts, ends, targets):
+            step = seg_start
+            while step < seg_end:
+                delta = target - level
+                if delta > step_size:
+                    delta = step_size
+                elif delta < -step_size:
+                    delta = -step_size
+                new_level = level + delta
+                if new_level < 0.0:
+                    new_level = 0.0
+                elif new_level > 1.0:
+                    new_level = 1.0
+                col[step] = new_level
+                step += 1
+                if new_level == level:
+                    col[step:seg_end] = new_level
+                    step = seg_end
+                level = new_level
+
+    keyed_events.sort()
+    events = [
+        GatingEvent(step=step, channel=ch, kind=kind)
+        for step, ch, kind in keyed_events
+    ]
     return GatingSchedule(gate=gate, events=events)
