@@ -25,13 +25,29 @@ produced by::
 
     python benchmarks/run_bench.py --datagen --out BENCH_datagen.json
 
-CI runs both smoke modes::
+**Monitor mode** (``--monitor``) benchmarks the batched serving path:
+``S`` independent sensor streams are monitored once by ``S`` looped
+single-stream :class:`~repro.monitor.runtime.VoltageMonitor` instances
+(cycle-at-a-time Python loop) and once by one
+:meth:`~repro.monitor.fleet.FleetMonitor.run_batch` call over the whole
+``(S, T, Q)`` tensor.  It verifies the two paths agree **bit-for-bit**
+(alarm flags, episode lists, alarm-cycle counts, minimum predictions),
+exercises the sensor-fault failover path (one stuck-at sensor must be
+detected and served by the exact leave-one-out fallback), and exits
+nonzero if the batch path is below the 5x throughput target at
+``S >= 16`` or any identity/failover check fails.  The committed
+``BENCH_monitor.json`` was produced by::
+
+    python benchmarks/run_bench.py --monitor --out BENCH_monitor.json
+
+CI runs three smoke modes::
 
     python benchmarks/run_bench.py --quick --check-convergence
     python benchmarks/run_bench.py --datagen --quick
+    python benchmarks/run_bench.py --monitor --quick
 
-the latter exits nonzero on an optimized-vs-reference dataset mismatch,
-a cache round-trip failure, or a cold-cache regression.
+the latter two exit nonzero on an optimized-vs-reference mismatch or
+(respectively) a monitor identity/failover/throughput failure.
 
 Profile selection for sweep mode follows the benchmark harness:
 ``REPRO_PROFILE=paper`` runs at full paper scale, the default ``fast``
@@ -355,6 +371,209 @@ def run_datagen(quick: bool = False) -> Dict:
     }
 
 
+def _monitor_dataset(
+    n_samples: int = 600,
+    n_candidates: int = 24,
+    n_blocks: int = 8,
+    n_cores: int = 2,
+    seed: int = 7,
+):
+    """Deterministic synthetic training data for the monitor benchmark.
+
+    Low-rank candidate voltages around 0.93 V with each block an exact
+    linear function of two same-core candidates plus small noise — the
+    same construction the test suite uses, rebuilt here so the
+    benchmark has no test-package dependency.
+    """
+    from repro.voltage.dataset import VoltageDataset
+
+    rng = np.random.default_rng(seed)
+    cand_per_core = n_candidates // n_cores
+    blocks_per_core = n_blocks // n_cores
+    candidate_cores = np.repeat(np.arange(n_cores), cand_per_core)
+    block_cores = np.repeat(np.arange(n_cores), blocks_per_core)
+    latent = rng.normal(size=(n_samples, 3 * n_cores)) * 0.02
+    mix = rng.normal(size=(3 * n_cores, n_candidates)) * 0.5
+    X = 0.93 + latent @ mix + 0.001 * rng.normal(size=(n_samples, n_candidates))
+    F = np.empty((n_samples, n_blocks))
+    for k in range(n_blocks):
+        pool = np.nonzero(candidate_cores == block_cores[k])[0]
+        picks = rng.choice(pool, size=2, replace=False)
+        w = rng.uniform(0.4, 0.6, size=2)
+        F[:, k] = (
+            X[:, picks] @ w + (1 - w.sum()) * 0.93
+            + 0.002 * rng.normal(size=n_samples)
+        )
+    return VoltageDataset(
+        X=X,
+        F=F,
+        candidate_nodes=np.arange(n_candidates) + 1000,
+        candidate_cores=candidate_cores,
+        critical_nodes=np.arange(n_blocks) + 5000,
+        block_names=[f"core{block_cores[k]}/blk{k}" for k in range(n_blocks)],
+        block_cores=block_cores,
+        benchmark_of_sample=np.arange(n_samples) % 2,
+        benchmark_names=["bm_a", "bm_b"],
+        vdd=1.0,
+    )
+
+
+def run_monitor(quick: bool = False) -> Dict:
+    """Benchmark batched fleet serving vs looped single-stream monitors."""
+    from repro.core.pipeline import fit_placement
+    from repro.monitor.faults import FaultPolicy, StuckAtFault
+    from repro.monitor.fleet import CompiledPredictor, FleetMonitor
+    from repro.monitor.runtime import VoltageMonitor
+
+    n_streams, n_cycles = (16, 400) if quick else (64, 2000)
+    debounce = 3
+    problems: List[Dict] = []
+
+    data = _monitor_dataset()
+    model = fit_placement(data, PipelineConfig(budget=1.0))
+    cols = model.sensor_candidate_cols
+
+    # S stream replays: evaluation rows + per-stream measurement noise,
+    # with threshold set so real alarm episodes occur.
+    rng = np.random.default_rng(11)
+    base = np.tile(data.X, (int(np.ceil(n_cycles / data.X.shape[0])), 1))
+    base = base[:n_cycles]
+    candidates = (
+        base[np.newaxis]
+        + rng.normal(0.0, 2e-4, size=(n_streams,) + base.shape)
+    )
+    sensor_streams = np.ascontiguousarray(candidates[:, :, cols])
+    threshold = float(np.quantile(model.predict(base), 0.10))
+
+    # Baseline: S looped per-stream VoltageMonitor.run calls.
+    t0 = time.perf_counter()
+    loop_monitors = []
+    loop_flags = np.empty((n_streams, n_cycles), dtype=bool)
+    for s in range(n_streams):
+        mon = VoltageMonitor(model, threshold, debounce=debounce)
+        loop_flags[s] = mon.run(candidates[s])
+        mon.finish()
+        loop_monitors.append(mon)
+    loop_s = time.perf_counter() - t0
+
+    # Batched: one run_batch over the whole (S, T, Q) tensor.
+    fleet = FleetMonitor(model, threshold, debounce=debounce, n_streams=n_streams)
+    t0 = time.perf_counter()
+    batch_flags = fleet.run_batch(sensor_streams)
+    batch_s = time.perf_counter() - t0
+    fleet_stats = fleet.finish()
+
+    flags_equal = bool(np.array_equal(loop_flags, batch_flags))
+    events_equal = all(
+        loop_monitors[s].events == fleet.events[s] for s in range(n_streams)
+    )
+    stats_equal = all(
+        loop_monitors[s].stats.alarm_cycles
+        == fleet.stream_stats(s).alarm_cycles
+        and loop_monitors[s].stats.min_predicted
+        == fleet.stream_stats(s).min_predicted
+        for s in range(n_streams)
+    )
+    if not (flags_equal and events_equal and stats_equal):
+        problems.append(
+            {
+                "kind": "monitor_identity_mismatch",
+                "flags_equal": flags_equal,
+                "events_equal": events_equal,
+                "stats_equal": stats_equal,
+            }
+        )
+    speedup = loop_s / batch_s
+    if n_streams >= 16 and speedup < 5.0:
+        problems.append(
+            {
+                "kind": "monitor_speedup_below_target",
+                "speedup": speedup,
+                "target": 5.0,
+            }
+        )
+
+    # Failover check: one stuck sensor must be detected and the stream
+    # served by exactly the precomputed leave-one-out fallback.
+    policy = FaultPolicy(
+        v_lo=float(sensor_streams.min()) - 0.05,
+        v_hi=float(sensor_streams.max()) + 0.05,
+        frozen_window=8,
+        frozen_eps=0.0,
+    )
+    fault = StuckAtFault(channel=0, start=n_cycles // 4, value=0.93)
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        faulty = FleetMonitor(model, threshold, debounce=debounce,
+                              n_streams=1, policy=policy)
+        faulty.run_batch(fault.apply(sensor_streams[0])[np.newaxis])
+        faulty_stats = faulty.finish()
+        fault_counters = {
+            k: v
+            for k, v in registry.snapshot()["counters"].items()
+            if k.startswith("monitor.")
+        }
+    failover_ok = (
+        len(faulty.failures[0]) == 1
+        and np.isfinite(faulty_stats.min_predicted)
+        and faulty.model_for(0) is model.fallback_models()[int(cols[0])]
+    )
+    expected = CompiledPredictor.from_model(
+        model.fallback_models()[int(cols[0])], sensor_cols=cols
+    )
+    served = faulty.predictor_for(0)
+    failover_exact = bool(
+        np.array_equal(served.coef_t, expected.coef_t)
+        and np.array_equal(served.intercept, expected.intercept)
+    )
+    if not (failover_ok and failover_exact):
+        problems.append(
+            {
+                "kind": "monitor_failover_mismatch",
+                "n_failures": len(faulty.failures[0]),
+                "failover_is_fallback": failover_ok,
+                "failover_exact": failover_exact,
+            }
+        )
+
+    total_cycles = n_streams * n_cycles
+    return {
+        "mode": "monitor",
+        "profile": "quick" if quick else "full",
+        "n_streams": n_streams,
+        "n_cycles": n_cycles,
+        "n_sensors": int(cols.size),
+        "n_blocks": model.n_blocks,
+        "debounce": debounce,
+        "threshold": threshold,
+        "loop_s": loop_s,
+        "batch_s": batch_s,
+        "speedup": speedup,
+        "loop_cycles_per_s": total_cycles / loop_s,
+        "batch_cycles_per_s": total_cycles / batch_s,
+        "events_total": fleet_stats.events,
+        "alarm_cycles_total": fleet_stats.alarm_cycles,
+        "identity": {
+            "flags_equal": flags_equal,
+            "events_equal": events_equal,
+            "stats_equal": stats_equal,
+        },
+        "failover": {
+            "failures": [
+                {
+                    "cycle": f.cycle,
+                    "screen": f.screen,
+                    "candidate_col": f.candidate_col,
+                }
+                for f in faulty.failures[0]
+            ],
+            "is_precomputed_fallback": failover_ok,
+            "compiled_exact": failover_exact,
+            "counters": fault_counters,
+        },
+        "problems": problems,
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Benchmark the λ-path engine against the sequential "
@@ -390,9 +609,56 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="benchmark the data-generation engine instead of the λ "
         "sweep; exits nonzero on reference mismatch or cache problems",
     )
+    parser.add_argument(
+        "--monitor",
+        action="store_true",
+        help="benchmark batched fleet serving vs looped single-stream "
+        "monitors; exits nonzero on an identity/failover/throughput "
+        "failure",
+    )
     args = parser.parse_args(argv)
     if args.n_jobs < 1:
         parser.error("--n-jobs must be >= 1")
+    if args.datagen and args.monitor:
+        parser.error("--datagen and --monitor are mutually exclusive")
+
+    if args.monitor:
+        report = run_monitor(quick=args.quick)
+        print(
+            f"monitor profile: {report['profile']}  "
+            f"streams: {report['n_streams']}  cycles: {report['n_cycles']}  "
+            f"sensors: {report['n_sensors']}"
+        )
+        print(
+            f"loop: {report['loop_s']:.2f}s "
+            f"({report['loop_cycles_per_s']:,.0f} cyc/s)  "
+            f"batch: {report['batch_s']:.3f}s "
+            f"({report['batch_cycles_per_s']:,.0f} cyc/s)  "
+            f"speedup: {report['speedup']:.1f}x"
+        )
+        ident = report["identity"]
+        print(
+            f"identity: flags={ident['flags_equal']} "
+            f"events={ident['events_equal']} stats={ident['stats_equal']}  "
+            f"episodes: {report['events_total']}"
+        )
+        fo = report["failover"]
+        print(
+            f"failover: detections={len(fo['failures'])} "
+            f"precomputed_fallback={fo['is_precomputed_fallback']} "
+            f"exact={fo['compiled_exact']}"
+        )
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"report written to {args.out}")
+        if report["problems"]:
+            print(f"{len(report['problems'])} problem(s):")
+            for problem in report["problems"]:
+                print(f"  {problem}")
+            return 1
+        return 0
 
     if args.datagen:
         report = run_datagen(quick=args.quick)

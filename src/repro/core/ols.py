@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.utils.validation import check_matrix
 
-__all__ = ["LinearModel", "fit_ols"]
+__all__ = ["LinearModel", "OLSRefitStats", "fit_ols"]
 
 
 @dataclass
@@ -75,6 +75,115 @@ class LinearModel:
             )
         out = X @ self.coef.T + self.intercept
         return out[0] if single else out
+
+
+@dataclass
+class OLSRefitStats:
+    """Centered sufficient statistics of an OLS problem.
+
+    Caching these at fit time lets the model be *refit on any feature
+    subset* without another pass over the training data — the basis of
+    the leave-one-sensor-out fallback models used for graceful
+    degradation when a sensor dies at runtime (see
+    :meth:`~repro.core.pipeline.PlacementModel.fallback_models`).
+
+    Attributes
+    ----------
+    n:
+        Training sample count.
+    x_mean, f_mean:
+        ``(Q,)`` / ``(K,)`` column means of the raw features/responses.
+    sxx:
+        ``(Q, Q)`` centered feature Gram ``Xcᵀ Xc``.
+    sxf:
+        ``(Q, K)`` centered cross-products ``Xcᵀ Fc``.
+    """
+
+    n: int
+    x_mean: np.ndarray
+    f_mean: np.ndarray
+    sxx: np.ndarray
+    sxf: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.x_mean = np.asarray(self.x_mean, dtype=float)
+        self.f_mean = np.asarray(self.f_mean, dtype=float)
+        self.sxx = np.asarray(self.sxx, dtype=float)
+        self.sxf = np.asarray(self.sxf, dtype=float)
+        q = self.x_mean.shape[0]
+        if self.sxx.shape != (q, q):
+            raise ValueError("sxx must be (Q, Q) matching x_mean")
+        if self.sxf.shape != (q, self.f_mean.shape[0]):
+            raise ValueError("sxf must be (Q, K) matching x_mean/f_mean")
+
+    @classmethod
+    def from_arrays(cls, X: np.ndarray, F: np.ndarray) -> "OLSRefitStats":
+        """Accumulate the statistics from raw ``(N, Q)`` / ``(N, K)`` data."""
+        X = check_matrix(X, "X")
+        F = check_matrix(F, "F", n_rows=X.shape[0])
+        if X.shape[0] < 2:
+            raise ValueError("need at least 2 samples for OLS statistics")
+        x_mean = X.mean(axis=0)
+        f_mean = F.mean(axis=0)
+        xc = X - x_mean
+        fc = F - f_mean
+        return cls(
+            n=X.shape[0],
+            x_mean=x_mean,
+            f_mean=f_mean,
+            sxx=xc.T @ xc,
+            sxf=xc.T @ fc,
+        )
+
+    @property
+    def n_features(self) -> int:
+        """Q — features the statistics cover."""
+        return self.x_mean.shape[0]
+
+    def subset(self, keep: np.ndarray) -> "OLSRefitStats":
+        """Statistics restricted to the ``keep`` feature positions.
+
+        The subset is exact (rows/columns of the cached Gram), so
+        fallback models can themselves be further reduced — chained
+        sensor failures keep working without the training data.
+        """
+        keep = np.asarray(keep, dtype=np.int64)
+        return OLSRefitStats(
+            n=self.n,
+            x_mean=self.x_mean[keep],
+            f_mean=self.f_mean,
+            sxx=self.sxx[np.ix_(keep, keep)],
+            sxf=self.sxf[keep],
+        )
+
+    def refit(self, keep: Optional[np.ndarray] = None) -> LinearModel:
+        """Solve the normal equations on a feature subset.
+
+        Parameters
+        ----------
+        keep:
+            Feature positions to retain (all when ``None``).  An empty
+            subset yields the intercept-only model (predicting the
+            training response means) — the deepest degradation level.
+
+        Notes
+        -----
+        Equivalent to :func:`fit_ols` on ``X[:, keep]`` up to normal-
+        equation conditioning; ``numpy.linalg.lstsq`` on the Gram keeps
+        rank-deficient subsets well-defined.
+        """
+        if keep is None:
+            keep = np.arange(self.n_features)
+        keep = np.asarray(keep, dtype=np.int64)
+        if keep.size == 0:
+            coef = np.zeros((self.f_mean.shape[0], 0))
+            return LinearModel(coef=coef, intercept=self.f_mean.copy())
+        coef_t, *_ = np.linalg.lstsq(
+            self.sxx[np.ix_(keep, keep)], self.sxf[keep], rcond=None
+        )
+        coef = coef_t.T
+        intercept = self.f_mean - coef @ self.x_mean[keep]
+        return LinearModel(coef=coef, intercept=intercept)
 
 
 def fit_ols(X: np.ndarray, F: np.ndarray) -> LinearModel:

@@ -17,8 +17,8 @@ from __future__ import annotations
 
 import time as _time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -137,11 +137,25 @@ class PlacementModel:
     scopes: List[ScopeModel]
     config: PipelineConfig
     n_blocks: int
+    _fallback_cache: Optional["Dict[int, PlacementModel]"] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def n_sensors(self) -> int:
         """Total sensors placed across the chip."""
         return sum(s.n_sensors for s in self.scopes)
+
+    @property
+    def n_inputs(self) -> int:
+        """Minimum candidate-vector length :meth:`predict` accepts.
+
+        One past the highest candidate column any scope reads; inputs
+        may be longer (trailing unread candidates are ignored).
+        """
+        if not self.scopes:
+            return 0
+        return max(int(s.candidate_cols.max()) for s in self.scopes) + 1
 
     @property
     def sensor_candidate_cols(self) -> np.ndarray:
@@ -171,6 +185,12 @@ class PlacementModel:
         X = np.asarray(X, dtype=float)
         if X.ndim == 1:
             X = X[np.newaxis, :]
+        if X.ndim != 2 or X.shape[1] < self.n_inputs:
+            raise ValueError(
+                f"predict expects (N, M) candidate voltages with "
+                f"M >= {self.n_inputs} (the model reads candidate columns "
+                f"up to index {self.n_inputs - 1}); got shape {X.shape}"
+            )
         out = np.empty((X.shape[0], self.n_blocks))
         filled = np.zeros(self.n_blocks, dtype=bool)
         for scope in self.scopes:
@@ -196,6 +216,65 @@ class PlacementModel:
     def block_states(self, X: np.ndarray, threshold: float) -> np.ndarray:
         """Per-(sample, block) predicted emergency states."""
         return self.predict(X) < threshold
+
+    def without_sensor(self, candidate_col: int) -> "PlacementModel":
+        """The placement refitted as if one sensor never existed.
+
+        The scope owning ``candidate_col`` gets its predictor refit on
+        the remaining sensors from the OLS statistics cached at fit
+        time (no training data needed); every other scope is shared
+        unchanged.  A scope losing its last sensor degrades to the
+        intercept-only model (predicting training means).
+
+        Parameters
+        ----------
+        candidate_col:
+            Dataset candidate column (X indexing) of the sensor to
+            remove — must be one of :attr:`sensor_candidate_cols`.
+        """
+        candidate_col = int(candidate_col)
+        for i, scope in enumerate(self.scopes):
+            hit = np.nonzero(scope.selected_cols == candidate_col)[0]
+            if hit.size == 0:
+                continue
+            position = int(hit[0])
+            new_scope = ScopeModel(
+                core_index=scope.core_index,
+                candidate_cols=scope.candidate_cols,
+                block_cols=scope.block_cols,
+                selection=replace(
+                    scope.selection,
+                    selected=np.delete(scope.selection.selected, position),
+                ),
+                predictor=scope.predictor.drop_feature(position),
+            )
+            scopes = list(self.scopes)
+            scopes[i] = new_scope
+            return PlacementModel(
+                scopes=scopes, config=self.config, n_blocks=self.n_blocks
+            )
+        raise ValueError(
+            f"candidate column {candidate_col} is not a selected sensor "
+            f"of this placement"
+        )
+
+    def fallback_models(self) -> "Dict[int, PlacementModel]":
+        """Leave-one-sensor-out fallback models, keyed by candidate column.
+
+        Built lazily on first call from the OLS Gram cached in each
+        scope's predictor and memoized on the model; runtime monitors
+        fail over to ``fallback_models()[col]`` when the sensor at
+        dataset candidate column ``col`` is detected dead, so a lost
+        sensor degrades accuracy instead of poisoning every block
+        prediction.  Fallbacks can chain through
+        :meth:`without_sensor` for multiple failures.
+        """
+        if self._fallback_cache is None:
+            self._fallback_cache = {
+                int(col): self.without_sensor(int(col))
+                for col in self.sensor_candidate_cols
+            }
+        return self._fallback_cache
 
 
 def _fit_scope(

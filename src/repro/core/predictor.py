@@ -20,7 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.normalization import Standardizer
-from repro.core.ols import LinearModel, fit_ols
+from repro.core.ols import LinearModel, OLSRefitStats, fit_ols
 from repro.utils.validation import check_matrix
 
 __all__ = ["VoltagePredictor", "GLCoefficientPredictor"]
@@ -39,11 +39,16 @@ class VoltagePredictor:
         the predictor was built from.
     sensor_nodes:
         Grid node ids of the selected sensors (optional bookkeeping).
+    refit_stats:
+        Centered OLS sufficient statistics cached at fit time; enable
+        exact leave-one-sensor-out refits without the training data
+        (:meth:`drop_feature`).  ``None`` for hand-built predictors.
     """
 
     model: LinearModel
     selected: np.ndarray
     sensor_nodes: Optional[np.ndarray] = None
+    refit_stats: Optional[OLSRefitStats] = None
 
     def __post_init__(self) -> None:
         self.selected = np.asarray(self.selected, dtype=np.int64)
@@ -93,8 +98,50 @@ class VoltagePredictor:
             raise ValueError("cannot fit a predictor with zero sensors")
         if selected.min() < 0 or selected.max() >= X.shape[1]:
             raise ValueError("selected index out of candidate range")
-        model = fit_ols(X[:, selected], F)
-        return cls(model=model, selected=selected, sensor_nodes=sensor_nodes)
+        sub = X[:, selected]
+        model = fit_ols(sub, F)
+        return cls(
+            model=model,
+            selected=selected,
+            sensor_nodes=sensor_nodes,
+            refit_stats=OLSRefitStats.from_arrays(sub, F),
+        )
+
+    def drop_feature(self, position: int) -> "VoltagePredictor":
+        """Refit without the sensor at feature ``position``.
+
+        The refit solves the cached normal equations
+        (:attr:`refit_stats`), so it needs no training data and runs in
+        O(Q³) — cheap enough to precompute one fallback per sensor.
+        The returned predictor carries the matching subset statistics,
+        so failures can chain (drop another sensor from a fallback).
+
+        Raises
+        ------
+        RuntimeError
+            If the predictor has no cached refit statistics (hand-built
+            or loaded from a pre-stats artifact).
+        """
+        position = int(position)
+        if not 0 <= position < self.n_sensors:
+            raise ValueError(
+                f"feature position {position} out of range for "
+                f"{self.n_sensors} sensors"
+            )
+        if self.refit_stats is None:
+            raise RuntimeError(
+                "predictor has no cached OLS refit statistics; refit from "
+                "training data via VoltagePredictor.fit to enable fallbacks"
+            )
+        keep = np.delete(np.arange(self.n_sensors), position)
+        return VoltagePredictor(
+            model=self.refit_stats.refit(keep),
+            selected=self.selected[keep],
+            sensor_nodes=(
+                self.sensor_nodes[keep] if self.sensor_nodes is not None else None
+            ),
+            refit_stats=self.refit_stats.subset(keep),
+        )
 
     def predict(self, sensor_voltages: np.ndarray) -> np.ndarray:
         """Predict block voltages from ``(N, Q)`` sensor readings."""

@@ -7,8 +7,10 @@ few kilobytes.  This module persists it so runtime tooling (monitors,
 firmware generators) can load it without the training stack.
 
 Only what prediction needs is stored: per scope, the candidate/block
-column maps, the selected indices, the sensor grid nodes, and the OLS
-coefficients/intercepts.  The group-lasso internals (norms, solver
+column maps, the selected indices, the sensor grid nodes, the OLS
+coefficients/intercepts, and the centered OLS sufficient statistics
+(so loaded models can still build leave-one-sensor-out fallback models
+for runtime failover).  The group-lasso internals (norms, solver
 state) are design-time diagnostics and are not round-tripped; loaded
 models carry a minimal selection record.
 """
@@ -22,7 +24,7 @@ from typing import Dict, List
 import numpy as np
 
 from repro.core.group_lasso import GroupLassoResult
-from repro.core.ols import LinearModel
+from repro.core.ols import LinearModel, OLSRefitStats
 from repro.core.pipeline import PipelineConfig, PlacementModel, ScopeModel
 from repro.core.predictor import VoltagePredictor
 from repro.core.selection import SelectionResult
@@ -57,10 +59,18 @@ def save_placement(path: str, model: PlacementModel) -> None:
         arrays[prefix + "intercept"] = scope.predictor.model.intercept
         if scope.predictor.sensor_nodes is not None:
             arrays[prefix + "sensor_nodes"] = scope.predictor.sensor_nodes
+        stats = scope.predictor.refit_stats
+        if stats is not None:
+            arrays[prefix + "refit_x_mean"] = stats.x_mean
+            arrays[prefix + "refit_f_mean"] = stats.f_mean
+            arrays[prefix + "refit_sxx"] = stats.sxx
+            arrays[prefix + "refit_sxf"] = stats.sxf
         scopes_meta.append(
             {
                 "core_index": scope.core_index,
                 "has_sensor_nodes": scope.predictor.sensor_nodes is not None,
+                "has_refit_stats": stats is not None,
+                "refit_n": stats.n if stats is not None else 0,
                 "budget": scope.selection.budget,
                 "threshold": scope.selection.threshold,
             }
@@ -120,10 +130,20 @@ def load_placement(path: str) -> PlacementModel:
                 if scope_meta["has_sensor_nodes"]
                 else None
             )
+            refit_stats = None
+            if scope_meta.get("has_refit_stats"):
+                refit_stats = OLSRefitStats(
+                    n=int(scope_meta["refit_n"]),
+                    x_mean=np.asarray(npz[prefix + "refit_x_mean"], dtype=float),
+                    f_mean=np.asarray(npz[prefix + "refit_f_mean"], dtype=float),
+                    sxx=np.asarray(npz[prefix + "refit_sxx"], dtype=float),
+                    sxf=np.asarray(npz[prefix + "refit_sxf"], dtype=float),
+                )
             predictor = VoltagePredictor(
                 model=LinearModel(coef=coef, intercept=intercept),
                 selected=selected,
                 sensor_nodes=sensor_nodes,
+                refit_stats=refit_stats,
             )
             selection = SelectionResult(
                 selected=selected,

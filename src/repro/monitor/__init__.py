@@ -1,6 +1,47 @@
 """Runtime monitoring: streaming emergency detection over a fitted
-placement, with debouncing, event logs and session statistics."""
+placement — single-stream (:class:`VoltageMonitor`) and batched
+multi-stream (:class:`FleetMonitor`) serving, with sensor fault
+injection (:mod:`repro.monitor.faults`), online fault screens, and
+automatic failover to leave-one-sensor-out fallback models."""
 
-from repro.monitor.runtime import EmergencyEvent, MonitorStats, VoltageMonitor
+from repro.monitor.faults import (
+    SCREEN_FROZEN,
+    SCREEN_NAN,
+    SCREEN_RANGE,
+    DriftFault,
+    DropoutFault,
+    FaultPolicy,
+    FaultSet,
+    GlitchFault,
+    SensorFault,
+    StuckAtFault,
+)
+from repro.monitor.fleet import (
+    CompiledPredictor,
+    EmergencyEvent,
+    FleetMonitor,
+    FleetStats,
+    MonitorStats,
+    SensorFailure,
+)
+from repro.monitor.runtime import VoltageMonitor
 
-__all__ = ["EmergencyEvent", "MonitorStats", "VoltageMonitor"]
+__all__ = [
+    "EmergencyEvent",
+    "MonitorStats",
+    "VoltageMonitor",
+    "FleetMonitor",
+    "FleetStats",
+    "CompiledPredictor",
+    "SensorFailure",
+    "SensorFault",
+    "DropoutFault",
+    "StuckAtFault",
+    "DriftFault",
+    "GlitchFault",
+    "FaultSet",
+    "FaultPolicy",
+    "SCREEN_NAN",
+    "SCREEN_RANGE",
+    "SCREEN_FROZEN",
+]

@@ -1,4 +1,4 @@
-"""Streaming runtime voltage monitor.
+"""Streaming runtime voltage monitor (single-stream wrapper).
 
 The deployable half of the methodology: at design time a
 :class:`~repro.core.pipeline.PlacementModel` is fitted; at runtime only
@@ -7,6 +7,13 @@ monitored block's voltage, and emergencies are flagged (optionally with
 debouncing, which real throttling controllers need to avoid reacting to
 single-cycle glitches).
 
+:class:`VoltageMonitor` is a thin wrapper over a
+:class:`~repro.monitor.fleet.FleetMonitor` of one stream, so the
+single-stream and batched serving paths share one implementation (and
+one numeric profile — a fleet of 1 is bit-identical to a fleet of S).
+It keeps the historical cycle-at-a-time API: ``step`` takes a full
+``(M,)`` candidate-voltage vector and picks out the sensor columns.
+
 The monitor keeps an event log and running statistics, which the
 dynamic-noise-management examples and tests consume.
 """
@@ -14,67 +21,22 @@ dynamic-noise-management examples and tests consume.
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 import numpy as np
 
-from repro.obs import Timer, TimerSummary, get_registry
+from repro.obs import Timer, TimerSummary
 from repro.core.pipeline import PlacementModel
+from repro.monitor.faults import FaultPolicy
+from repro.monitor.fleet import (
+    EmergencyEvent,
+    FleetMonitor,
+    MonitorStats,
+    SensorFailure,
+)
 from repro.utils.validation import check_integer, check_positive
 
 __all__ = ["EmergencyEvent", "MonitorStats", "VoltageMonitor"]
-
-
-@dataclass(frozen=True)
-class EmergencyEvent:
-    """One contiguous alarm episode.
-
-    Attributes
-    ----------
-    start_cycle, end_cycle:
-        First and last cycle of the episode (inclusive).
-    min_predicted:
-        Deepest predicted voltage during the episode (V).
-    worst_block:
-        Index of the block with the deepest prediction.
-    """
-
-    start_cycle: int
-    end_cycle: int
-    min_predicted: float
-    worst_block: int
-
-    @property
-    def duration(self) -> int:
-        """Episode length in cycles."""
-        return self.end_cycle - self.start_cycle + 1
-
-
-@dataclass
-class MonitorStats:
-    """Aggregate statistics of a monitoring session.
-
-    Attributes
-    ----------
-    cycles:
-        Cycles processed.
-    alarm_cycles:
-        Cycles with an active (debounced) alarm.
-    events:
-        Completed alarm episodes.
-    min_predicted:
-        Deepest prediction seen overall (V).
-    step_latency:
-        Percentile summary of per-:meth:`VoltageMonitor.step` wall
-        times, populated by :meth:`VoltageMonitor.finish`.
-    """
-
-    cycles: int = 0
-    alarm_cycles: int = 0
-    events: int = 0
-    min_predicted: float = float("inf")
-    step_latency: Optional[TimerSummary] = None
 
 
 class VoltageMonitor:
@@ -92,6 +54,10 @@ class VoltageMonitor:
     on_emergency:
         Optional callback invoked with each completed
         :class:`EmergencyEvent` (e.g. a throttling hook).
+    policy:
+        Optional :class:`~repro.monitor.faults.FaultPolicy` enabling
+        online sensor-fault screening and automatic failover to
+        leave-one-sensor-out fallback models.
     """
 
     def __init__(
@@ -100,6 +66,7 @@ class VoltageMonitor:
         threshold: float,
         debounce: int = 1,
         on_emergency: Optional[Callable[[EmergencyEvent], None]] = None,
+        policy: Optional[FaultPolicy] = None,
     ) -> None:
         check_positive(threshold, "threshold")
         check_integer(debounce, "debounce", minimum=1)
@@ -107,22 +74,47 @@ class VoltageMonitor:
         self.threshold = threshold
         self.debounce = debounce
         self.on_emergency = on_emergency
-        self.stats = MonitorStats()
-        self.events: List[EmergencyEvent] = []
+        self._fleet = FleetMonitor(
+            model,
+            threshold,
+            debounce=debounce,
+            n_streams=1,
+            policy=policy,
+            on_emergency=self._relay,
+        )
         self._latency = Timer("monitor.step")
-        self._below_streak = 0
-        self._streak_min = float("inf")
-        self._streak_block = -1
-        self._alarm_active = False
-        self._episode_start = 0
-        self._episode_min = float("inf")
-        self._episode_block = -1
-        self._cycle = 0
+        self._finished: Optional[MonitorStats] = None
+
+    def _relay(self, stream: int, event: EmergencyEvent) -> None:
+        if self.on_emergency is not None:
+            self.on_emergency(event)
+
+    @property
+    def policy(self) -> Optional[FaultPolicy]:
+        """The fault-screening policy (None = trust every reading)."""
+        return self._fleet.policy
 
     @property
     def alarm_active(self) -> bool:
         """Whether the (debounced) alarm is currently asserted."""
-        return self._alarm_active
+        return bool(self._fleet.alarm_active[0])
+
+    @property
+    def events(self) -> List[EmergencyEvent]:
+        """Completed alarm episodes, in order."""
+        return self._fleet.events[0]
+
+    @property
+    def failures(self) -> List[SensorFailure]:
+        """Detected sensor failures (empty without a fault policy)."""
+        return self._fleet.failures[0]
+
+    @property
+    def stats(self) -> MonitorStats:
+        """Running session statistics (latency frozen by :meth:`finish`)."""
+        if self._finished is not None:
+            return self._finished
+        return self._fleet.stream_stats(0)
 
     def step(self, candidate_voltages: np.ndarray) -> bool:
         """Process one cycle of sensor data; returns the alarm state.
@@ -132,72 +124,30 @@ class VoltageMonitor:
         candidate_voltages:
             ``(M,)`` candidate-voltage vector; only the model's sensor
             columns are read (the physical measurements).
+
+        Raises
+        ------
+        ValueError
+            If the input is not 1-D or is shorter than the model's
+            candidate span (``model.n_inputs``).
         """
         t0 = _time.perf_counter()
-        pred = self.model.predict(candidate_voltages)[0]
-        v_min = float(pred.min())
-        block = int(np.argmin(pred))
-
-        self.stats.cycles += 1
-        self.stats.min_predicted = min(self.stats.min_predicted, v_min)
-
-        if v_min < self.threshold:
-            if self._below_streak == 0 or v_min < self._streak_min:
-                self._streak_min = v_min
-                self._streak_block = block
-            self._below_streak += 1
-        else:
-            self._below_streak = 0
-
-        if not self._alarm_active and self._below_streak >= self.debounce:
-            self._alarm_active = True
-            self._episode_start = self._cycle - (self.debounce - 1)
-            self._episode_min = self._streak_min
-            self._episode_block = self._streak_block
-            # The episode is backdated to the start of the debounce
-            # streak; count those cycles as alarm cycles too, so that
-            # ``sum(event.duration) == stats.alarm_cycles`` holds for
-            # any debounce setting (the current cycle is counted by the
-            # alarm-active check below).
-            self.stats.alarm_cycles += self.debounce - 1
-        elif self._alarm_active:
-            if v_min < self._episode_min:
-                self._episode_min = v_min
-                self._episode_block = block
-            if v_min >= self.threshold:
-                self._close_episode(self._cycle - 1)
-
-        if self._alarm_active:
-            self.stats.alarm_cycles += 1
-        self._cycle += 1
-        self._latency.record(_time.perf_counter() - t0)
-        return self._alarm_active
-
-    def _close_episode(self, end_cycle: int) -> None:
-        event = EmergencyEvent(
-            start_cycle=self._episode_start,
-            end_cycle=end_cycle,
-            min_predicted=self._episode_min,
-            worst_block=self._episode_block,
-        )
-        self.events.append(event)
-        self.stats.events += 1
-        self._alarm_active = False
-        self._below_streak = 0
-        registry = get_registry()
-        if registry.enabled:
-            registry.counter("monitor.emergencies").inc()
-            registry.event(
-                "monitor.emergency",
-                start_cycle=event.start_cycle,
-                end_cycle=event.end_cycle,
-                duration=event.duration,
-                min_predicted=event.min_predicted,
-                worst_block=event.worst_block,
-                threshold=self.threshold,
+        v = np.asarray(candidate_voltages, dtype=float)
+        if v.ndim != 1:
+            raise ValueError(
+                f"step expects a 1-D (M,) candidate-voltage vector; got "
+                f"shape {v.shape} (use run for (n_cycles, M) streams)"
             )
-        if self.on_emergency is not None:
-            self.on_emergency(event)
+        n_inputs = self.model.n_inputs
+        if v.shape[0] < n_inputs:
+            raise ValueError(
+                f"candidate vector has {v.shape[0]} entries but the model "
+                f"reads candidate columns up to index {n_inputs - 1}; "
+                f"expected at least {n_inputs}"
+            )
+        flag = bool(self._fleet.step(v[self._fleet.sensor_cols][np.newaxis, :])[0])
+        self._latency.record(_time.perf_counter() - t0)
+        return flag
 
     def run(self, stream: np.ndarray) -> np.ndarray:
         """Process a whole ``(n_cycles, M)`` stream; returns alarm flags."""
@@ -216,7 +166,8 @@ class VoltageMonitor:
         Also freezes the per-step latency summary into
         :attr:`MonitorStats.step_latency`.
         """
-        if self._alarm_active:
-            self._close_episode(self._cycle - 1)
-        self.stats.step_latency = self._latency.summary()
-        return self.stats
+        self._fleet.finish()
+        stats = self._fleet.stream_stats(0)
+        stats.step_latency = self._latency.summary()
+        self._finished = stats
+        return stats

@@ -93,17 +93,33 @@ class SensorArray:
         """Number of sensor instances."""
         return self.offsets.shape[0]
 
-    def measure(self, true_voltages: np.ndarray) -> np.ndarray:
+    def measure(
+        self,
+        true_voltages: np.ndarray,
+        faults=None,
+        t0: int = 0,
+    ) -> np.ndarray:
         """Convert true node voltages into sensor readings.
 
         Applies, in order: static offset, additive noise, range
-        clipping, quantization.
+        clipping, quantization, and then any injected faults (failures
+        corrupt the *digitized* reading the monitor sees, downstream of
+        the analog front end).
 
         Parameters
         ----------
         true_voltages:
             ``(n_sensors,)`` or ``(n_samples, n_sensors)`` true
             voltages (V).
+        faults:
+            Optional fault injector — any object with an
+            ``apply(stream, t0)`` method, e.g. a
+            :class:`~repro.monitor.faults.SensorFault` or
+            :class:`~repro.monitor.faults.FaultSet` (duck-typed so this
+            package needs no monitor import).
+        t0:
+            Absolute cycle index of the first sample, forwarded to the
+            injector so time-windowed faults line up across chunks.
 
         Returns
         -------
@@ -125,4 +141,6 @@ class SensorArray:
         lsb = self.spec.lsb
         if lsb > 0:
             out = self.spec.v_min + np.round((out - self.spec.v_min) / lsb) * lsb
+        if faults is not None:
+            out = faults.apply(out, t0=t0)
         return out[0] if single else out

@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Regenerate the golden regression fixture for the serving pipeline.
+
+Builds one fully deterministic scenario — synthetic dataset, fitted
+placement, a monitored stream with real alarm episodes, and a
+fault-injection run with failovers — and records its observable outputs
+to ``golden_monitor.json``.  The regression test
+(``tests/test_golden.py``) replays the same scenario through
+:func:`build_golden` and compares against the stored fixture under the
+tolerance policy in ``tests/golden/README.md``.
+
+Regenerate (only after an intentional behaviour change; review the
+diff)::
+
+    python tests/golden/regenerate.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(os.path.dirname(_HERE))
+for p in (os.path.join(_ROOT, "src"), _ROOT):
+    if p not in sys.path:
+        sys.path.insert(0, p)
+
+import numpy as np
+
+GOLDEN_PATH = os.path.join(_HERE, "golden_monitor.json")
+
+#: Scenario constants — changing any of these is a fixture change.
+DATASET_SEED = 3
+BUDGET = 1.0
+N_CYCLES = 150
+DEBOUNCE = 2
+STREAM_SEED = 21
+THRESHOLD_QUANTILE = 0.2
+FAULT_CHANNELS = (1, 3)  # dropout on 1, stuck-at on 3
+FAULT_STARTS = (30, 60)
+FROZEN_WINDOW = 8
+
+
+def build_golden() -> dict:
+    """Run the deterministic scenario and return its observables."""
+    from repro.core import PipelineConfig, fit_placement
+    from repro.monitor import (
+        DropoutFault,
+        FaultPolicy,
+        FleetMonitor,
+        StuckAtFault,
+    )
+    from repro.voltage.metrics import mean_relative_error, rms_relative_error
+    from tests.conftest import make_synthetic_dataset
+
+    ds = make_synthetic_dataset(seed=DATASET_SEED)
+    model = fit_placement(ds, PipelineConfig(budget=BUDGET))
+    cols = model.sensor_candidate_cols
+
+    rng = np.random.default_rng(STREAM_SEED)
+    reps = -(-N_CYCLES // ds.X.shape[0])
+    stream = np.tile(ds.X, (reps, 1))[:N_CYCLES][:, cols]
+    stream = stream + rng.normal(0, 3e-4, stream.shape)
+    threshold = float(np.quantile(model.predict(ds.X), THRESHOLD_QUANTILE))
+
+    fleet = FleetMonitor(model, threshold, debounce=DEBOUNCE, n_streams=1)
+    fleet.run_batch(stream[np.newaxis])
+    stats = fleet.finish()
+
+    policy = FaultPolicy(
+        v_lo=float(stream.min()) - 0.05,
+        v_hi=float(stream.max()) + 0.05,
+        frozen_window=FROZEN_WINDOW,
+        frozen_eps=0.0,
+    )
+    faulted = DropoutFault(channel=FAULT_CHANNELS[0], start=FAULT_STARTS[0]).apply(
+        stream
+    )
+    faulted = StuckAtFault(
+        channel=FAULT_CHANNELS[1], start=FAULT_STARTS[1],
+        value=float(stream.mean()),
+    ).apply(faulted)
+    degraded = FleetMonitor(
+        model, threshold, debounce=DEBOUNCE, n_streams=1, policy=policy
+    )
+    degraded.run_batch(faulted[np.newaxis])
+    degraded_stats = degraded.finish()
+
+    return {
+        "scenario": {
+            "dataset_seed": DATASET_SEED,
+            "budget": BUDGET,
+            "n_cycles": N_CYCLES,
+            "debounce": DEBOUNCE,
+            "stream_seed": STREAM_SEED,
+            "threshold_quantile": THRESHOLD_QUANTILE,
+        },
+        "placement": {
+            "selected_sensors": [int(c) for c in cols],
+            "n_sensors": model.n_sensors,
+            "mean_relative_error": mean_relative_error(
+                model.predict(ds.X), ds.F
+            ),
+            "rms_relative_error": rms_relative_error(
+                model.predict(ds.X), ds.F
+            ),
+        },
+        "monitor": {
+            "threshold": threshold,
+            "alarm_cycles": stats.alarm_cycles,
+            "min_predicted": stats.min_predicted,
+            "episodes": [
+                {
+                    "start_cycle": ev.start_cycle,
+                    "end_cycle": ev.end_cycle,
+                    "min_predicted": ev.min_predicted,
+                    "worst_block": ev.worst_block,
+                }
+                for ev in fleet.events[0]
+            ],
+        },
+        "failover": {
+            "failovers": degraded_stats.failovers,
+            "degraded_streams": degraded_stats.degraded_streams,
+            "failures": [
+                {
+                    "position": f.position,
+                    "candidate_col": f.candidate_col,
+                    "cycle": f.cycle,
+                    "screen": f.screen,
+                }
+                for f in degraded.failures[0]
+            ],
+            "degraded_mean_relative_error": mean_relative_error(
+                degraded.model_for(0).predict(ds.X), ds.F
+            ),
+        },
+    }
+
+
+def main() -> None:
+    golden = build_golden()
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
+        json.dump(golden, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"golden fixture written to {GOLDEN_PATH}")
+    print(
+        f"  sensors: {golden['placement']['selected_sensors']}  "
+        f"episodes: {len(golden['monitor']['episodes'])}  "
+        f"failovers: {golden['failover']['failovers']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Golden regression test: replay the pinned serving scenario.
+
+See ``tests/golden/README.md`` for the tolerance policy and
+``tests/golden/regenerate.py`` for how the fixture is produced.
+"""
+
+import json
+import os
+
+import pytest
+
+from tests.golden.regenerate import GOLDEN_PATH, build_golden
+
+REL_TOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def current():
+    return build_golden()
+
+
+def test_fixture_exists_and_matches_scenario(golden, current):
+    assert golden["scenario"] == current["scenario"]
+
+
+def test_selected_sensors_exact(golden, current):
+    assert current["placement"]["selected_sensors"] == (
+        golden["placement"]["selected_sensors"]
+    )
+    assert current["placement"]["n_sensors"] == golden["placement"]["n_sensors"]
+
+
+def test_placement_errors_within_tolerance(golden, current):
+    for key in ("mean_relative_error", "rms_relative_error"):
+        assert current["placement"][key] == pytest.approx(
+            golden["placement"][key], rel=REL_TOL
+        )
+
+
+def test_monitor_episodes_exact(golden, current):
+    assert current["monitor"]["threshold"] == pytest.approx(
+        golden["monitor"]["threshold"], rel=REL_TOL
+    )
+    assert current["monitor"]["alarm_cycles"] == golden["monitor"]["alarm_cycles"]
+    assert current["monitor"]["min_predicted"] == pytest.approx(
+        golden["monitor"]["min_predicted"], rel=REL_TOL
+    )
+    got, want = current["monitor"]["episodes"], golden["monitor"]["episodes"]
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert g["start_cycle"] == w["start_cycle"]
+        assert g["end_cycle"] == w["end_cycle"]
+        assert g["worst_block"] == w["worst_block"]
+        assert g["min_predicted"] == pytest.approx(
+            w["min_predicted"], rel=REL_TOL
+        )
+
+
+def test_failover_counts_and_records_exact(golden, current):
+    got, want = current["failover"], golden["failover"]
+    assert got["failovers"] == want["failovers"]
+    assert got["degraded_streams"] == want["degraded_streams"]
+    assert got["failures"] == want["failures"]
+    assert got["degraded_mean_relative_error"] == pytest.approx(
+        want["degraded_mean_relative_error"], rel=REL_TOL
+    )

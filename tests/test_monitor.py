@@ -111,6 +111,22 @@ class TestVoltageMonitor:
         with pytest.raises(ValueError):
             mon.run(np.ones(4))
 
+    def test_step_rejects_2d_input(self):
+        mon = VoltageMonitor(identity_model(), threshold=0.85)
+        with pytest.raises(ValueError, match=r"1-D \(M,\)"):
+            mon.step(np.ones((3, 2)))
+
+    def test_step_rejects_short_vector_with_clear_message(self):
+        mon = VoltageMonitor(identity_model(n_blocks=3), threshold=0.85)
+        with pytest.raises(ValueError, match="has 2 entries.*at least 3"):
+            mon.step(np.ones(2))
+
+    def test_step_accepts_extra_candidate_columns(self):
+        # Readings may carry the full candidate vector; only the
+        # model's sensor columns are consumed.
+        mon = VoltageMonitor(identity_model(), threshold=0.85)
+        assert not mon.step(np.array([0.9, 0.9, 123.0, -7.0]))
+
     def test_rejects_bad_args(self):
         with pytest.raises(ValueError):
             VoltageMonitor(identity_model(), threshold=0.0)

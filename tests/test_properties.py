@@ -127,6 +127,236 @@ class TestMetricIdentities:
         assert rates.total == 0.0
 
 
+class TestNormalizationRoundTrip:
+    @given(
+        n=st.integers(5, 60),
+        m=st.integers(1, 8),
+        scale=st.floats(1e-3, 10.0),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_inverse_transform_recovers_data(self, n, m, scale, seed):
+        rng = np.random.default_rng(seed)
+        X = 0.9 + scale * 0.05 * rng.standard_normal((n, m))
+        std = Standardizer()
+        z = std.fit_transform(X)
+        assert np.allclose(std.inverse_transform(z), X, atol=1e-10)
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_transform_is_zero_mean_unit_variance(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(0.8, 1.0, (40, 5))
+        z = Standardizer().fit_transform(X)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-8)
+
+
+class TestGroupLassoFeasibility:
+    @given(
+        budget=st.floats(0.05, 3.0),
+        seed=st.integers(0, 30),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_constrained_solve_respects_budget(self, budget, seed):
+        # Eq. (12): the returned coefficients must satisfy the group-norm
+        # budget (within the solver's relative tolerance) at any budget.
+        from repro.core.group_lasso import group_lasso_constrained
+
+        rng = np.random.default_rng(seed)
+        Z = Standardizer().fit_transform(rng.standard_normal((50, 8)))
+        G = Standardizer().fit_transform(
+            Z[:, :3] @ rng.standard_normal((3, 2))
+            + 0.05 * rng.standard_normal((50, 2))
+        )
+        rtol = 1e-2
+        result = group_lasso_constrained(Z, G, budget=budget, rtol=rtol)
+        assert result.norm_sum() <= budget * (1 + rtol) + 1e-9
+
+
+class TestFaultInjectorProperties:
+    _FAULT_KINDS = st.sampled_from(["dropout", "stuck", "drift", "glitch"])
+
+    @staticmethod
+    def _make_fault(kind, channel, start, duration, rng):
+        from repro.monitor import (
+            DriftFault,
+            DropoutFault,
+            GlitchFault,
+            StuckAtFault,
+        )
+
+        if kind == "dropout":
+            return DropoutFault(channel=channel, start=start, duration=duration)
+        if kind == "stuck":
+            return StuckAtFault(
+                channel=channel, start=start, duration=duration,
+                value=float(rng.uniform(0.5, 1.2)),
+            )
+        if kind == "drift":
+            return DriftFault(
+                channel=channel, start=start, duration=duration,
+                anchor=float(rng.uniform(0.8, 1.2)),
+                rate=float(rng.uniform(-0.01, 0.01)),
+            )
+        # Power-of-two lsb keeps quantization exactly idempotent in
+        # floating point.
+        return GlitchFault(
+            channel=channel, start=start, duration=duration,
+            lsb=float(2.0 ** -rng.integers(2, 8)),
+        )
+
+    @given(
+        kind=_FAULT_KINDS,
+        channel=st.integers(0, 3),
+        start=st.integers(0, 30),
+        duration=st.one_of(st.none(), st.integers(1, 20)),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent(self, kind, channel, start, duration, seed):
+        rng = np.random.default_rng(seed)
+        fault = self._make_fault(kind, channel, start, duration, rng)
+        stream = rng.uniform(0.7, 1.1, (40, 4))
+        once = fault.apply(stream)
+        assert np.array_equal(once, fault.apply(once), equal_nan=True)
+
+    @given(
+        kind=_FAULT_KINDS,
+        channel=st.integers(0, 3),
+        start=st.integers(0, 30),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_clean_channels_bit_identical(self, kind, channel, start, seed):
+        rng = np.random.default_rng(seed)
+        fault = self._make_fault(kind, channel, start, None, rng)
+        stream = rng.uniform(0.7, 1.1, (40, 4))
+        out = fault.apply(stream)
+        others = [c for c in range(4) if c != channel]
+        assert np.array_equal(out[:, others], stream[:, others])
+
+    @given(
+        kind_a=_FAULT_KINDS,
+        kind_b=_FAULT_KINDS,
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_disjoint_faults_commute_and_compose(self, kind_a, kind_b, seed):
+        from repro.monitor import FaultSet
+
+        rng = np.random.default_rng(seed)
+        a = self._make_fault(kind_a, 0, int(rng.integers(0, 20)), None, rng)
+        b = self._make_fault(kind_b, 2, int(rng.integers(0, 20)), None, rng)
+        stream = rng.uniform(0.7, 1.1, (40, 4))
+        ab = FaultSet([a, b]).apply(stream)
+        ba = FaultSet([b, a]).apply(stream)
+        assert np.array_equal(ab, ba, equal_nan=True)
+        assert np.array_equal(
+            ab, b.apply(a.apply(stream)), equal_nan=True
+        )
+
+
+class TestMonitorEquivalence:
+    """Bit-for-bit equivalence of the three serving paths."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        from repro.core import PipelineConfig, fit_placement
+        from tests.conftest import make_synthetic_dataset
+
+        ds = make_synthetic_dataset(seed=3)
+        model = fit_placement(ds, PipelineConfig(budget=1.0))
+        thr = float(np.quantile(model.predict(ds.X), 0.25))
+        return ds, model, thr
+
+    def _stream(self, ds, model, n_cycles, seed, nan_frac=0.0):
+        rng = np.random.default_rng(seed)
+        cols = model.sensor_candidate_cols
+        reps = -(-n_cycles // ds.X.shape[0])
+        s = np.tile(ds.X, (reps, 1))[:n_cycles][:, cols]
+        s = s + rng.normal(0, 3e-4, s.shape)
+        if nan_frac > 0:
+            mask = rng.random(s.shape) < nan_frac
+            s[mask] = np.nan
+        return s
+
+    @given(
+        debounce=st.integers(1, 4),
+        seed=st.integers(0, 50),
+        nan_frac=st.sampled_from([0.0, 0.0, 0.02]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_fleet_of_one_equals_voltage_monitor(
+        self, fitted, debounce, seed, nan_frac
+    ):
+        from repro.monitor import FleetMonitor, VoltageMonitor
+
+        ds, model, thr = fitted
+        stream = self._stream(ds, model, 90, seed, nan_frac)
+        cols = model.sensor_candidate_cols
+
+        mon = VoltageMonitor(model, thr, debounce=debounce)
+        candidates = np.zeros((stream.shape[0], model.n_inputs))
+        candidates[:, cols] = stream
+        mon_flags = mon.run(candidates)
+        mon_stats = mon.finish()
+
+        fleet = FleetMonitor(model, thr, debounce=debounce, n_streams=1)
+        fleet_flags = np.array(
+            [fleet.step(row[np.newaxis])[0] for row in stream]
+        )
+        fleet.finish()
+
+        assert np.array_equal(mon_flags, fleet_flags)
+        assert mon.events == fleet.events[0]
+        assert mon_stats.alarm_cycles == fleet.stream_stats(0).alarm_cycles
+        assert mon_stats.min_predicted == fleet.stream_stats(0).min_predicted
+
+    @given(
+        debounce=st.integers(1, 4),
+        seed=st.integers(0, 50),
+        split=st.integers(1, 89),
+        nan_frac=st.sampled_from([0.0, 0.0, 0.02]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_run_batch_equals_step_loop(
+        self, fitted, debounce, seed, split, nan_frac
+    ):
+        from repro.monitor import FleetMonitor
+
+        ds, model, thr = fitted
+        streams = np.stack(
+            [
+                self._stream(ds, model, 90, seed, nan_frac),
+                self._stream(ds, model, 90, seed + 1000, nan_frac),
+            ]
+        )
+
+        stepper = FleetMonitor(model, thr, debounce=debounce, n_streams=2)
+        step_flags = np.array(
+            [stepper.step(streams[:, t]) for t in range(90)]
+        ).T
+        stepper.finish()
+
+        batcher = FleetMonitor(model, thr, debounce=debounce, n_streams=2)
+        batch_flags = np.concatenate(
+            [
+                batcher.run_batch(streams[:, :split]),
+                batcher.run_batch(streams[:, split:]),
+            ],
+            axis=1,
+        )
+        batcher.finish()
+
+        assert np.array_equal(step_flags, batch_flags)
+        assert stepper.events == batcher.events
+        for s in range(2):
+            a, b = stepper.stream_stats(s), batcher.stream_stats(s)
+            assert a.alarm_cycles == b.alarm_cycles
+            assert a.min_predicted == b.min_predicted
+
+
 class TestPipelineConsistency:
     @given(seed=st.integers(0, 20))
     @settings(max_examples=8, deadline=None)
