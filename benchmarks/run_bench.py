@@ -72,6 +72,7 @@ if _SRC not in sys.path:
 import numpy as np
 
 import repro.obs as obs
+from repro.obs.benchjson import stamp_bench, validate_bench
 from repro.core.lambda_sweep import SweepPoint, sweep_lambda
 from repro.core.pipeline import PipelineConfig
 from repro.experiments.config import (
@@ -131,6 +132,25 @@ DATAGEN_QUICK_SETUP = ExperimentSetup(
     ),
     name="datagen-quick",
 )
+
+
+def _write_report(report: Dict, path: str) -> None:
+    """Stamp, validate and write one bench report.
+
+    Refuses to write a report that fails the shared
+    :mod:`repro.obs.benchjson` validation — malformed baselines would
+    poison every later ``repro.obs.report`` diff against them.
+    """
+    stamp_bench(report)
+    issues = validate_bench(report)
+    if issues:
+        raise SystemExit(
+            "refusing to write invalid bench report: " + "; ".join(issues)
+        )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"report written to {path}")
 
 
 def _solver_problems(points: Sequence[SweepPoint]) -> List[Dict]:
@@ -290,9 +310,18 @@ def _compare_datasets(reference, optimized) -> Dict:
     }
 
 
-def run_datagen(quick: bool = False) -> Dict:
-    """Benchmark generate_dataset: reference vs optimized, plus cache."""
+def run_datagen(quick: bool = False, n_jobs: int = 1) -> Dict:
+    """Benchmark generate_dataset: reference vs optimized, plus cache.
+
+    With ``n_jobs > 1`` the optimized path fans benchmarks out over
+    worker processes; each worker's registry snapshot is merged back
+    into the benchmark registry, so the report's ``timers`` section
+    holds merged per-worker solve timings and ``workers`` the per-child
+    breakdown.
+    """
     import tempfile
+
+    from repro.obs.manifest import worker_stats
 
     setup = DATAGEN_QUICK_SETUP if quick else DATAGEN_SETUP
     problems: List[Dict] = []
@@ -303,7 +332,7 @@ def run_datagen(quick: bool = False) -> Dict:
         reference_s = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        optimized = generate_dataset(setup)
+        optimized = generate_dataset(setup, n_jobs=n_jobs)
         optimized_s = time.perf_counter() - t0
 
         with tempfile.TemporaryDirectory() as cache_root:
@@ -313,7 +342,14 @@ def run_datagen(quick: bool = False) -> Dict:
             t0 = time.perf_counter()
             warm = generate_dataset(setup, cache_dir=cache_root)
             cache_warm_s = time.perf_counter() - t0
-        counters = dict(registry.snapshot()["counters"])
+        snapshot = registry.snapshot()
+        counters = dict(snapshot["counters"])
+        timers = {
+            name: state
+            for name, state in snapshot["timers"].items()
+            if name.startswith("datagen.")
+        }
+        workers = worker_stats(registry)
 
     equality = _compare_datasets(reference, optimized)
     cache_equality = _compare_datasets(optimized, warm)
@@ -356,6 +392,7 @@ def run_datagen(quick: bool = False) -> Dict:
         "n_train": optimized.train.n_samples,
         "n_eval": optimized.eval.n_samples,
         "uses_kernel": uses_kernel,
+        "n_jobs": n_jobs,
         "reference_s": reference_s,
         "optimized_s": optimized_s,
         "speedup": reference_s / optimized_s,
@@ -367,6 +404,8 @@ def run_datagen(quick: bool = False) -> Dict:
         "counters": {
             k: v for k, v in counters.items() if k.startswith("datagen.")
         },
+        "timers": timers,
+        "workers": workers,
         "problems": problems,
     }
 
@@ -595,7 +634,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=1,
         metavar="N",
-        help="worker threads for independent scopes' λ paths",
+        help="worker threads for independent scopes' λ paths (sweep "
+        "mode) or worker processes for benchmark shares (datagen mode)",
     )
     parser.add_argument(
         "--check-convergence",
@@ -649,10 +689,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"exact={fo['compiled_exact']}"
         )
         if args.out:
-            with open(args.out, "w", encoding="utf-8") as fh:
-                json.dump(report, fh, indent=2, sort_keys=True)
-                fh.write("\n")
-            print(f"report written to {args.out}")
+            _write_report(report, args.out)
         if report["problems"]:
             print(f"{len(report['problems'])} problem(s):")
             for problem in report["problems"]:
@@ -661,10 +698,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.datagen:
-        report = run_datagen(quick=args.quick)
+        report = run_datagen(quick=args.quick, n_jobs=args.n_jobs)
         print(
             f"datagen profile: {report['profile']}  "
-            f"kernel: {report['uses_kernel']}"
+            f"kernel: {report['uses_kernel']}  n_jobs: {report['n_jobs']}"
         )
         print(
             f"reference: {report['reference_s']:.2f}s  "
@@ -680,11 +717,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"equality: bit_identical={report['equality']['bit_identical']} "
             f"max_ulp32={report['equality']['max_ulp32']}"
         )
+        if report["workers"]:
+            for worker in report["workers"]:
+                timers = worker.get("snapshot", {}).get("timers", {})
+                solve = timers.get("datagen.batch_solve", {})
+                print(
+                    f"  worker {worker.get('worker')}: "
+                    f"{len(worker.get('benchmarks', []))} benchmarks, "
+                    f"solve p99 {solve.get('p99_s', 0.0) * 1e3:.1f} ms"
+                )
         if args.out:
-            with open(args.out, "w", encoding="utf-8") as fh:
-                json.dump(report, fh, indent=2, sort_keys=True)
-                fh.write("\n")
-            print(f"report written to {args.out}")
+            _write_report(report, args.out)
         if report["problems"]:
             print(f"{len(report['problems'])} problem(s):")
             for problem in report["problems"]:
@@ -712,10 +755,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
 
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as fh:
-            json.dump(report, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"report written to {args.out}")
+        _write_report(report, args.out)
 
     problems = report["solver_problems"]
     if problems:

@@ -41,7 +41,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.obs import get_registry, span
+from repro.obs import MetricsRegistry, get_registry, span, thread_registry
 from repro.core.group_lasso import (
     SufficientStats,
     WarmState,
@@ -140,6 +140,34 @@ class LambdaPathEngine:
         """Number of independent fitting scopes the engine caches."""
         return len(self._scopes)
 
+    def _map_threaded(self, fn, items):
+        """``pool.map(fn, items)`` with per-thread registry isolation.
+
+        Each task records spans/metrics into a private child registry
+        (installed via :func:`repro.obs.thread_registry`), and the
+        children are merged back into the caller's registry in ``items``
+        order once the pool drains — worker threads never contend on
+        the shared registry lock, and merged results are deterministic
+        regardless of thread scheduling.
+        """
+        parent = get_registry()
+        workers = min(self.n_jobs, len(items))
+        if not parent.enabled:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(fn, items))
+        children = [MetricsRegistry() for _ in items]
+
+        def run(task):
+            index, item = task
+            with thread_registry(children[index]):
+                return fn(item)
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            out = list(pool.map(run, enumerate(items)))
+        for child in children:
+            parent.merge_registry(child)
+        return out
+
     def _fit_scope(self, state: _ScopeState, budget: float) -> ScopeModel:
         """One constrained solve + threshold + OLS refit, cache-backed."""
         cfg = self.base_config
@@ -197,15 +225,9 @@ class LambdaPathEngine:
         """Fit the placement at one budget, reusing all cached state."""
         with span("path.fit", budget=float(budget)) as sp:
             if self.n_jobs > 1 and len(self._scopes) > 1:
-                with ThreadPoolExecutor(
-                    max_workers=min(self.n_jobs, len(self._scopes))
-                ) as pool:
-                    scopes = list(
-                        pool.map(
-                            lambda st: self._fit_scope(st, budget),
-                            self._scopes,
-                        )
-                    )
+                scopes = self._map_threaded(
+                    lambda st: self._fit_scope(st, budget), self._scopes
+                )
             else:
                 scopes = [self._fit_scope(st, budget) for st in self._scopes]
             sp.set_attribute("n_sensors", sum(s.n_sensors for s in scopes))
@@ -250,10 +272,7 @@ class LambdaPathEngine:
             "path.fit_path", n_budgets=len(budgets), n_jobs=self.n_jobs
         ):
             if self.n_jobs > 1 and len(self._scopes) > 1:
-                with ThreadPoolExecutor(
-                    max_workers=min(self.n_jobs, len(self._scopes))
-                ) as pool:
-                    list(pool.map(run_scope_path, range(len(self._scopes))))
+                self._map_threaded(run_scope_path, list(range(len(self._scopes))))
             else:
                 for scope_idx in range(len(self._scopes)):
                     run_scope_path(scope_idx)

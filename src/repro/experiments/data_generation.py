@@ -266,20 +266,22 @@ def _parallel_worker(args: Tuple[ChipConfig, DataConfig, List[str], bool]) -> Di
     The LU factorization is not picklable, so each worker rebuilds the
     chip from its :class:`ChipConfig` (cheap next to the simulation it
     amortizes).  Metrics recorded in the worker cannot reach the
-    parent's registry, so counter values are returned for aggregation.
+    parent's registry, so the worker's whole registry snapshot is
+    returned and the parent folds it in with ``merge_snapshot`` — the
+    scoped ``use_registry`` keeps any registry a fork-started worker
+    inherited from the caller intact.
     """
     import repro.obs as obs
 
     config, data, names, exact = args
-    registry = obs.enable()
-    chip = _build_chip(config)
-    results, _ = _simulate_batch(chip, names, data, exact)
-    counters = dict(registry.snapshot()["counters"])
-    obs.disable()
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        chip = _build_chip(config)
+        results, _ = _simulate_batch(chip, names, data, exact)
+        snapshot = registry.snapshot()
     return {
         "names": list(names),
         "results": results,
-        "counters": counters,
+        "snapshot": snapshot,
     }
 
 
@@ -456,13 +458,14 @@ def _maps_parallel(
                 )
             )
     for worker_id, payload in enumerate(payloads):
+        registry.merge_snapshot(payload["snapshot"])
         registry.event(
-            "datagen.worker",
+            "obs.worker",
+            source="datagen",
             worker=worker_id,
             benchmarks=list(payload["names"]),
+            snapshot=payload["snapshot"],
         )
-        for name, value in payload["counters"].items():
-            registry.counter(name).inc(int(value))
         for benchmark, result in zip(payload["names"], payload["results"]):
             results[benchmark] = result
     missing = [b for b in names if b not in results]

@@ -1,0 +1,176 @@
+"""Shared schema for the ``BENCH_*.json`` benchmark reports.
+
+The three ``benchmarks/run_bench.py`` modes (λ sweep, datagen,
+monitor) historically drifted in field names — the sweep report did
+not even carry a ``mode`` stamp.  This module pins the contract down:
+
+* :data:`BENCH_SCHEMA` — the schema tag ``run_bench.py`` stamps into
+  every report it writes (:func:`stamp_bench`).
+* :func:`infer_mode` — mode of a report, including legacy ones that
+  predate the stamp (a committed ``BENCH_sweep.json`` is recognized by
+  its ``engine_points``).
+* :func:`validate_bench` — structural validation; ``run_bench.py``
+  calls it before writing and refuses to emit malformed reports.
+* :func:`normalize_bench` — flattens any mode into the common
+  ``{counters, timers, scalars}`` shape that
+  :mod:`repro.obs.report` diffs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "MODES",
+    "infer_mode",
+    "stamp_bench",
+    "validate_bench",
+    "normalize_bench",
+]
+
+#: Schema tag stamped into every bench report written from now on.
+BENCH_SCHEMA = "repro.bench/v1"
+
+#: The three benchmark modes ``run_bench.py`` produces.
+MODES = ("sweep", "datagen", "monitor")
+
+#: Fields every report of a mode must carry to be considered valid.
+_REQUIRED_FIELDS = {
+    "sweep": ("budgets", "engine_s", "counters", "engine_points"),
+    "datagen": (
+        "reference_s", "optimized_s", "speedup", "equality",
+        "counters", "problems",
+    ),
+    "monitor": (
+        "loop_s", "batch_s", "speedup", "identity", "failover", "problems",
+    ),
+}
+
+
+def infer_mode(doc: Dict[str, Any]) -> str:
+    """The benchmark mode of ``doc``.
+
+    Honors an explicit ``mode`` field; legacy sweep reports (written
+    before the schema stamp existed) are recognized by their
+    ``engine_points`` list.
+
+    Raises
+    ------
+    ValueError
+        If the mode is missing/unknown and cannot be inferred.
+    """
+    mode = doc.get("mode")
+    if mode is None and "engine_points" in doc:
+        return "sweep"
+    if mode not in MODES:
+        raise ValueError(
+            f"cannot determine benchmark mode: mode={mode!r} and no "
+            "recognizable legacy shape"
+        )
+    return str(mode)
+
+
+def stamp_bench(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Stamp ``schema`` and ``mode`` into a report (in place; returned)."""
+    doc["mode"] = infer_mode(doc)
+    doc["schema"] = BENCH_SCHEMA
+    return doc
+
+
+def validate_bench(doc: Dict[str, Any]) -> List[str]:
+    """Structural problems of a bench report (empty list = valid).
+
+    Accepts both stamped (``schema``/``mode`` present) and legacy
+    reports; a wrong schema tag, an undeterminable mode, missing
+    required fields, or non-numeric counters are each one problem
+    string.
+    """
+    problems: List[str] = []
+    schema = doc.get("schema")
+    if schema is not None and schema != BENCH_SCHEMA:
+        problems.append(f"unknown schema {schema!r} (expected {BENCH_SCHEMA!r})")
+    try:
+        mode = infer_mode(doc)
+    except ValueError as exc:
+        problems.append(str(exc))
+        return problems
+    for field in _REQUIRED_FIELDS[mode]:
+        if field not in doc:
+            problems.append(f"{mode} report missing field {field!r}")
+    counters = doc.get("counters")
+    if counters is not None:
+        if not isinstance(counters, dict):
+            problems.append("'counters' must be a mapping")
+        else:
+            for name, value in counters.items():
+                if not isinstance(value, (int, float)):
+                    problems.append(
+                        f"counter {name!r} has non-numeric value {value!r}"
+                    )
+    return problems
+
+
+def _scalar(out: Dict[str, float], doc: Dict[str, Any], *names: str) -> None:
+    """Copy numeric fields of ``doc`` into ``out`` when present."""
+    for name in names:
+        value = doc.get(name)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[name] = float(value)
+
+
+def normalize_bench(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Flatten a bench report into ``{mode, counters, timers, scalars}``.
+
+    ``counters`` are exact event counts, ``timers`` percentile-summary
+    dicts (bench reports have none — manifests do), and ``scalars``
+    everything else numeric: wall-clock seconds, speedups, and
+    per-budget accuracy figures keyed ``relative_error[budget=2]``.
+    The report CLI classifies entries by name, so the keys here are
+    the contract.
+    """
+    mode = infer_mode(doc)
+    counters: Dict[str, float] = {}
+    scalars: Dict[str, float] = {}
+
+    if mode == "sweep":
+        counters.update(doc.get("counters", {}))
+        _scalar(scalars, doc, "datagen_s", "engine_s", "baseline_s", "speedup")
+        for point in doc.get("engine_points", []):
+            budget = point.get("budget")
+            tag = f"[budget={budget:g}]" if isinstance(budget, (int, float)) else ""
+            for field in ("relative_error", "max_abs_error", "n_sensors"):
+                value = point.get(field)
+                if isinstance(value, (int, float)):
+                    scalars[f"{field}{tag}"] = float(value)
+        scalars["solver_problems"] = float(len(doc.get("solver_problems", [])))
+    elif mode == "datagen":
+        counters.update(doc.get("counters", {}))
+        _scalar(
+            scalars, doc,
+            "reference_s", "optimized_s", "speedup",
+            "cache_cold_s", "cache_warm_s", "cache_speedup",
+        )
+        equality = doc.get("equality", {})
+        if isinstance(equality, dict):
+            _scalar(scalars, equality, "max_ulp32")
+        scalars["problems"] = float(len(doc.get("problems", [])))
+    else:  # monitor
+        failover = doc.get("failover", {})
+        if isinstance(failover, dict):
+            counters.update(failover.get("counters", {}))
+        _scalar(
+            scalars, doc,
+            "loop_s", "batch_s", "speedup",
+            "loop_cycles_per_s", "batch_cycles_per_s",
+            "events_total", "alarm_cycles_total",
+        )
+        scalars["problems"] = float(len(doc.get("problems", [])))
+
+    return {
+        "kind": "bench",
+        "mode": mode,
+        "counters": {str(k): float(v) for k, v in counters.items()},
+        "timers": {},
+        "scalars": scalars,
+    }

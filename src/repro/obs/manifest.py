@@ -19,10 +19,14 @@ __all__ = [
     "build_manifest",
     "convergence_stats",
     "render_timing_summary",
+    "worker_stats",
 ]
 
 #: Event name emitted by the constrained group-lasso solver.
 GL_EVENT = "group_lasso.constrained"
+
+#: Event name parents emit after merging a worker/shard snapshot.
+WORKER_EVENT = "obs.worker"
 
 #: Span-name prefix the runner uses for whole experiments.
 EXPERIMENT_SPAN_PREFIX = "experiment."
@@ -39,6 +43,22 @@ def convergence_stats(registry: MetricsRegistry) -> List[Dict[str, Any]]:
     """
     stats = []
     for event in registry.events_named(GL_EVENT):
+        stats.append({k: v for k, v in event.items()
+                      if k not in ("event", "seq")})
+    return stats
+
+
+def worker_stats(registry: MetricsRegistry) -> List[Dict[str, Any]]:
+    """Per-worker/per-shard telemetry harvested from ``obs.worker`` events.
+
+    Parallel drivers (``generate_maps(n_jobs=)``, ``FleetMonitor``)
+    emit one ``obs.worker`` event per child after merging its registry
+    snapshot back into the parent; each entry keeps the ``source``, the
+    worker/shard id, and the child's full metrics snapshot (so a
+    manifest can show merged totals *and* the per-worker breakdown).
+    """
+    stats = []
+    for event in registry.events_named(WORKER_EVENT):
         stats.append({k: v for k, v in event.items()
                       if k not in ("event", "seq")})
     return stats
@@ -90,12 +110,13 @@ def build_manifest(
         name = event.get("event", "?")
         event_counts[name] = event_counts.get(name, 0) + 1
     manifest: Dict[str, Any] = {
-        "schema": "repro.obs.manifest/v1",
+        "schema": "repro.obs.manifest/v2",
         "profile": profile,
         "elapsed_s": registry.elapsed,
         "experiments": _experiment_timings(registry),
         "dataset": dataset,
         "group_lasso": convergence_stats(registry),
+        "workers": worker_stats(registry),
         "spans": [record.as_dict() for record in registry.spans],
         "metrics": registry.snapshot(),
         "event_counts": event_counts,

@@ -5,6 +5,15 @@ The registry is the aggregation point of the observability subsystem
 records into them; reporting code takes a :meth:`MetricsRegistry.snapshot`
 or renders the timers as an ASCII table.
 
+Every instrument is **mergeable**: ``snapshot()`` returns a JSON-ready
+state dict and ``merge()`` folds such a snapshot back in *exactly* —
+counter totals add as integers and timer histograms add bucket counts,
+so N worker processes (or scope threads) can each record into a private
+registry and the parent's merged percentiles are bit-identical to a
+single registry that pooled every sample.  This is what the parallel
+data-generation workers, the λ-path engine's scope threads, and the
+fleet monitor's per-shard latency stats ride on.
+
 Two registry modes exist:
 
 * **enabled** — instruments record normally; spans and events are kept.
@@ -15,10 +24,11 @@ Two registry modes exist:
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 __all__ = [
     "Counter",
@@ -26,7 +36,11 @@ __all__ = [
     "Timer",
     "TimerSummary",
     "MetricsRegistry",
+    "SNAPSHOT_SCHEMA",
 ]
+
+#: Schema tag stamped on every :meth:`MetricsRegistry.snapshot`.
+SNAPSHOT_SCHEMA = "repro.obs.snapshot/v1"
 
 
 class Counter:
@@ -48,6 +62,14 @@ class Counter:
         with self._lock:
             self.value += n
 
+    def snapshot(self) -> int:
+        """Serializable state: the integer total."""
+        return self.value
+
+    def merge(self, snapshot: int) -> None:
+        """Fold another counter's snapshot in (exact integer addition)."""
+        self.inc(int(snapshot))
+
 
 class Gauge:
     """A point-in-time value (last write wins).
@@ -65,6 +87,14 @@ class Gauge:
     def set(self, value: float) -> None:
         """Record the current level of the tracked quantity."""
         self.value = float(value)
+
+    def snapshot(self) -> float:
+        """Serializable state: the current level."""
+        return self.value
+
+    def merge(self, snapshot: float) -> None:
+        """Fold a snapshot in: last write wins, the snapshot's value."""
+        self.set(snapshot)
 
 
 @dataclass(frozen=True)
@@ -97,31 +127,53 @@ class TimerSummary:
 _EMPTY_SUMMARY = TimerSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
 
 
-class Timer:
-    """A duration histogram with exact count/total/min/max.
+#: Histogram sub-buckets per power of two.  Bucket boundaries are
+#: ``2 ** (i / SUBBUCKETS)``, so the relative bucket width — and the
+#: worst-case relative error of a reported percentile — is
+#: ``2 ** (1 / 32) - 1`` ≈ 2.2 %.
+SUBBUCKETS = 32
 
-    Percentiles are computed from a bounded sample reservoir: count,
-    total, min and max are always exact, but once more than
-    ``max_samples`` durations have been recorded the reservoir keeps a
-    deterministic systematic subsample (every ``stride``-th record), so
-    long monitoring sessions cannot grow memory without bound.
+
+def _bucket_of(seconds: float) -> int:
+    """Log-linear bucket index of a strictly positive duration."""
+    return math.floor(math.log2(seconds) * SUBBUCKETS)
+
+
+def _bucket_value(index: int) -> float:
+    """Representative duration of one bucket (its geometric midpoint)."""
+    return 2.0 ** ((index + 0.5) / SUBBUCKETS)
+
+
+class Timer:
+    """A mergeable duration histogram with exact count/total/min/max.
+
+    Durations land in fixed log-linear buckets (:data:`SUBBUCKETS`
+    sub-buckets per power of two, stored sparsely), so memory is
+    bounded by the *dynamic range* of the recorded values, not their
+    number — a multi-day monitoring session costs the same few hundred
+    buckets as a short one.  Percentiles are read off the bucket
+    counts with ≤ 2.2 % relative error and clamped to the exact
+    ``[min, max]``.
+
+    Because bucketing is a pure per-record function, histograms merge
+    **exactly**: :meth:`merge`-ing N workers' :meth:`snapshot`\\ s yields
+    the same bucket counts — and therefore bit-identical percentiles —
+    as one timer that recorded every sample itself.
     """
 
     __slots__ = ("name", "count", "total", "minimum", "maximum",
-                 "_samples", "_max_samples", "_stride", "_phase", "_lock")
+                 "_zero", "_buckets", "_lock")
 
-    def __init__(self, name: str, max_samples: int = 4096) -> None:
-        if max_samples < 2:
-            raise ValueError("max_samples must be >= 2")
+    def __init__(self, name: str) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = 0.0
-        self._samples: List[float] = []
-        self._max_samples = max_samples
-        self._stride = 1
-        self._phase = 0
+        #: Records with non-positive duration (clock granularity).
+        self._zero = 0
+        #: Sparse log-linear histogram: bucket index -> count.
+        self._buckets: Dict[int, int] = {}
         self._lock = threading.Lock()
 
     def record(self, seconds: float) -> None:
@@ -134,36 +186,42 @@ class Timer:
                 self.minimum = seconds
             if seconds > self.maximum:
                 self.maximum = seconds
-            self._phase += 1
-            if self._phase >= self._stride:
-                self._phase = 0
-                self._samples.append(seconds)
-                if len(self._samples) >= self._max_samples:
-                    # Thin the reservoir: keep every other sample,
-                    # double the stride for future records.
-                    self._samples = self._samples[::2]
-                    self._stride *= 2
+            if seconds <= 0.0:
+                self._zero += 1
+            else:
+                idx = _bucket_of(seconds)
+                self._buckets[idx] = self._buckets.get(idx, 0) + 1
 
     def time(self) -> "_TimerContext":
         """Context manager recording the wall time of its body."""
         return _TimerContext(self)
 
     def percentile(self, p: float) -> float:
-        """Approximate p-th percentile (0..100) of recorded durations."""
+        """Approximate p-th percentile (0..100) of recorded durations.
+
+        Nearest-rank over the bucket counts; a deterministic function
+        of the histogram state, so merged and pooled timers report
+        identical percentiles.
+        """
         with self._lock:
-            samples = list(self._samples)
-        if not samples:
-            return 0.0
-        ordered = sorted(samples)
-        if p <= 0:
-            return ordered[0]
-        if p >= 100:
-            return ordered[-1]
-        rank = (len(ordered) - 1) * (p / 100.0)
-        lo = int(rank)
-        hi = min(lo + 1, len(ordered) - 1)
-        frac = rank - lo
-        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+            count = self.count
+            if count == 0:
+                return 0.0
+            if p <= 0:
+                return self.minimum
+            if p >= 100:
+                return self.maximum
+            rank = min(max(int(math.ceil(count * (p / 100.0))), 1), count)
+            cum = self._zero
+            value = 0.0
+            if cum < rank:
+                value = self.maximum
+                for idx in sorted(self._buckets):
+                    cum += self._buckets[idx]
+                    if cum >= rank:
+                        value = _bucket_value(idx)
+                        break
+            return min(max(value, self.minimum), self.maximum)
 
     def summary(self) -> TimerSummary:
         """Aggregate + percentile summary of everything recorded."""
@@ -179,6 +237,48 @@ class Timer:
             p90=self.percentile(90),
             p99=self.percentile(99),
         )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready state: summary fields plus the histogram itself.
+
+        The derived fields (``mean_s``, ``p50_s`` …) are included for
+        human consumption; :meth:`merge` recomputes them from the
+        merged state and ignores them on input.
+        """
+        snap = self.summary().as_dict()
+        with self._lock:
+            snap["zero"] = self._zero
+            snap["buckets"] = {str(i): self._buckets[i]
+                               for i in sorted(self._buckets)}
+            snap["subbuckets"] = SUBBUCKETS
+        return snap
+
+    def merge(self, snapshot: Union["Timer", Dict[str, Any]]) -> None:
+        """Fold another timer's snapshot (or the timer itself) in.
+
+        Bucket counts add exactly; min/max take the extremum.  Raises
+        ``ValueError`` when the snapshot used a different bucket scheme.
+        """
+        if isinstance(snapshot, Timer):
+            snapshot = snapshot.snapshot()
+        count = int(snapshot.get("count", 0))
+        if count == 0:
+            return
+        subs = int(snapshot.get("subbuckets", SUBBUCKETS))
+        if subs != SUBBUCKETS:
+            raise ValueError(
+                f"cannot merge a histogram with {subs} sub-buckets into "
+                f"one with {SUBBUCKETS}"
+            )
+        with self._lock:
+            self.count += count
+            self.total += float(snapshot.get("total_s", 0.0))
+            self.minimum = min(self.minimum, float(snapshot["min_s"]))
+            self.maximum = max(self.maximum, float(snapshot["max_s"]))
+            self._zero += int(snapshot.get("zero", 0))
+            for key, n in snapshot.get("buckets", {}).items():
+                idx = int(key)
+                self._buckets[idx] = self._buckets.get(idx, 0) + int(n)
 
 
 class _TimerContext:
@@ -223,6 +323,12 @@ class _NullInstrument:
 
     def summary(self) -> TimerSummary:
         return _EMPTY_SUMMARY
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}
+
+    def merge(self, snapshot: Any) -> None:
+        pass
 
     def __enter__(self) -> "_NullInstrument":
         return self
@@ -348,14 +454,63 @@ class MetricsRegistry:
         return {name: t.summary() for name, t in self._timers.items()}
 
     def snapshot(self) -> Dict[str, Any]:
-        """JSON-ready dump of all counters, gauges and timer summaries."""
+        """JSON-ready, mergeable dump of every instrument.
+
+        Counters snapshot as integer totals, gauges as floats, timers
+        as summary fields plus their full histogram state — so a
+        snapshot round-trips through JSON and feeds
+        :meth:`merge_snapshot` without loss.
+        """
         return {
-            "counters": {n: c.value for n, c in self._counters.items()},
-            "gauges": {n: g.value for n, g in self._gauges.items()},
-            "timers": {
-                n: t.summary().as_dict() for n, t in self._timers.items()
-            },
+            "schema": SNAPSHOT_SCHEMA,
+            "counters": {n: c.snapshot() for n, c in self._counters.items()},
+            "gauges": {n: g.snapshot() for n, g in self._gauges.items()},
+            "timers": {n: t.snapshot() for n, t in self._timers.items()},
         }
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a child registry's :meth:`snapshot` into this registry.
+
+        Counter totals add exactly, timer histograms add bucket counts
+        (percentiles of the merged timer are bit-identical to pooling
+        the raw samples), gauges take the snapshot's value (last write
+        wins).  No-op on a disabled registry.
+        """
+        if not self.enabled:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).merge(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).merge(value)
+        for name, state in snapshot.get("timers", {}).items():
+            self.timer(name).merge(state)
+
+    def merge_registry(self, child: "MetricsRegistry") -> None:
+        """Merge a live child registry: metrics, spans *and* events.
+
+        Used for thread scopes (the λ-path engine's workers), where the
+        child object is in-process: metrics merge via
+        :meth:`merge_snapshot`, span records are appended as-is, and
+        events are re-sequenced into this registry's stream and
+        forwarded to its sinks.  Event ``t_s`` values stay relative to
+        the *child's* epoch.
+        """
+        if not self.enabled:
+            return
+        self.merge_snapshot(child.snapshot())
+        with self._lock:
+            self.spans.extend(child.spans)
+            merged = []
+            for event in child.events:
+                record = dict(event)
+                record["seq"] = self._event_seq
+                self._event_seq += 1
+                self.events.append(record)
+                merged.append(record)
+            sinks = list(self._sinks)
+        for record in merged:
+            for sink in sinks:
+                sink.emit(record)
 
     def reset(self) -> None:
         """Drop all instruments, spans and events (sinks are kept)."""
