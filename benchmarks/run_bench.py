@@ -613,6 +613,196 @@ def run_monitor(quick: bool = False) -> Dict:
     }
 
 
+def _screen_problem(
+    n_candidates: int,
+    n_samples: int = 240,
+    n_responses: int = 4,
+    n_active: int = 8,
+    seed: int = 0,
+):
+    """Synthetic sparse selection problem with ``n_candidates`` groups.
+
+    Columns are centered and unit-normalized (what the pipeline's
+    standardizer produces), so the solver sees its usual scaling.
+    """
+    rng = np.random.default_rng(seed)
+    Z = rng.standard_normal((n_samples, n_candidates))
+    Z -= Z.mean(axis=0)
+    Z /= np.linalg.norm(Z, axis=0)
+    active = rng.choice(n_candidates, size=n_active, replace=False)
+    coef = np.zeros((n_responses, n_candidates))
+    coef[:, active] = rng.standard_normal((n_responses, n_active))
+    G = Z @ coef.T + 0.01 * rng.standard_normal((n_samples, n_responses))
+    return Z, G
+
+
+def _screen_sweep(Z, G, budgets, screen: bool):
+    """Warm-started constrained sweep; returns (selected_sets, results).
+
+    Builds its own sufficient statistics (lazy when screening) so a
+    tracemalloc window around the call sees the full per-path memory
+    footprint, Gram included.
+    """
+    from repro.core.group_lasso import (
+        StrongRuleScreener,
+        SufficientStats,
+        WarmState,
+        group_lasso_constrained,
+    )
+    from repro.core.selection import DEFAULT_THRESHOLD
+
+    stats = SufficientStats.from_arrays(Z, G, lazy=screen)
+    screener = StrongRuleScreener(stats) if screen else None
+    warm = None
+    sets, results = [], []
+    for budget in budgets:
+        res = group_lasso_constrained(
+            Z, G, budget, stats=stats, warm=warm, screen=screener
+        )
+        warm = WarmState(coef=res.coef.copy(), penalty=res.penalty)
+        sets.append(
+            tuple(np.nonzero(res.group_norms() > DEFAULT_THRESHOLD)[0].tolist())
+        )
+        results.append(res)
+    return sets, results
+
+
+def _uncaught_kkt(Z, G, results) -> int:
+    """Exact post-hoc KKT audit of screened solutions.
+
+    Counts inactive groups whose dual residual norm exceeds the
+    penalty beyond solver noise — a screened-out group the safeguard
+    should have re-admitted.  Zero on a healthy run.
+    """
+    from repro.core.group_lasso import SufficientStats
+
+    stats = SufficientStats.from_arrays(Z, G, lazy=True)
+    uncaught = 0
+    for res in results:
+        if res.penalty <= 0:
+            continue
+        active = res.active_groups()
+        c_norms = np.linalg.norm(stats.dual_residual(res.coef, active), axis=1)
+        mask = np.ones(c_norms.shape[0], dtype=bool)
+        mask[active] = False
+        uncaught += int(np.sum(c_norms[mask] > res.penalty * (1.0 + 1e-6)))
+    return uncaught
+
+
+def run_screen(quick: bool = False) -> Dict:
+    """Benchmark strong-rule screening: memory and wall-clock vs dense.
+
+    Two stages.  The *compare* stage runs the same warm-started budget
+    sweep twice — dense statistics vs screened lazy statistics — at a
+    size where the dense path is still tractable, and checks the
+    selected sets are identical.  The *large* stage runs screened-only
+    at a candidate count whose dense Gram would not fit
+    (10⁵ candidates ⇒ an 80,000 MB ``S``), records the measured peak
+    against that analytic requirement, and audits the solutions for
+    uncaught KKT violations.
+    """
+    import tracemalloc
+
+    budgets = (0.5, 1.0, 2.0, 3.0)
+    compare_m = 600 if quick else 3000
+    large_m = 20000 if quick else 100000
+    problems: List[Dict] = []
+
+    def timed_peak(fn):
+        tracemalloc.start()
+        try:
+            t0 = time.perf_counter()
+            out = fn()
+            elapsed = time.perf_counter() - t0
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return out, elapsed, peak / 2**20
+
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        Z, G = _screen_problem(compare_m, seed=0)
+        (dense_sets, _), dense_s, dense_peak_mb = timed_peak(
+            lambda: _screen_sweep(Z, G, budgets, screen=False)
+        )
+        (scr_sets, scr_results), screened_s, scr_peak_mb = timed_peak(
+            lambda: _screen_sweep(Z, G, budgets, screen=True)
+        )
+        sets_identical = dense_sets == scr_sets
+        compare_uncaught = _uncaught_kkt(Z, G, scr_results)
+        compare = {
+            "n_candidates": compare_m,
+            "budgets": list(budgets),
+            "dense_s": dense_s,
+            "screened_s": screened_s,
+            "speedup": dense_s / screened_s,
+            "dense_peak_mb": dense_peak_mb,
+            "screened_peak_mb": scr_peak_mb,
+            "memory_reduction": dense_peak_mb / max(scr_peak_mb, 1e-9),
+            "sets_identical": sets_identical,
+            "uncaught_kkt_violations": compare_uncaught,
+        }
+        if not sets_identical:
+            problems.append(
+                {
+                    "kind": "screen_set_mismatch",
+                    "dense": [list(s) for s in dense_sets],
+                    "screened": [list(s) for s in scr_sets],
+                }
+            )
+
+        Zl, Gl = _screen_problem(large_m, seed=1)
+        (large_sets, large_results), large_s, large_peak_mb = timed_peak(
+            lambda: _screen_sweep(Zl, Gl, budgets, screen=True)
+        )
+        large_uncaught = _uncaught_kkt(Zl, Gl, large_results)
+        dense_gram_mb = large_m * large_m * 8 / 2**20
+        large = {
+            "n_candidates": large_m,
+            "budgets": list(budgets),
+            "screened_s": large_s,
+            "screened_peak_mb": large_peak_mb,
+            "dense_gram_mb": dense_gram_mb,
+            "memory_reduction": dense_gram_mb / max(large_peak_mb, 1e-9),
+            "n_selected": [len(s) for s in large_sets],
+            "uncaught_kkt_violations": large_uncaught,
+        }
+        counters = {
+            name: registry.counter(name).value
+            for name in ("path.screen_dropped", "path.kkt_violations")
+        }
+
+    total_uncaught = compare_uncaught + large_uncaught
+    if total_uncaught:
+        problems.append(
+            {"kind": "screen_kkt_uncaught", "count": total_uncaught}
+        )
+    if not quick:
+        if large["memory_reduction"] < 5.0:
+            problems.append(
+                {
+                    "kind": "screen_memory_reduction_below_target",
+                    "measured": large["memory_reduction"],
+                    "target": 5.0,
+                }
+            )
+        if compare["speedup"] <= 1.0:
+            problems.append(
+                {
+                    "kind": "screen_no_speedup",
+                    "measured": compare["speedup"],
+                }
+            )
+
+    return {
+        "mode": "screen",
+        "profile": "quick" if quick else "full",
+        "compare": compare,
+        "large": large,
+        "counters": counters,
+        "problems": problems,
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Benchmark the λ-path engine against the sequential "
@@ -656,11 +846,56 @@ def main(argv: Optional[List[str]] = None) -> int:
         "monitors; exits nonzero on an identity/failover/throughput "
         "failure",
     )
+    parser.add_argument(
+        "--screen",
+        action="store_true",
+        help="benchmark strong-rule candidate screening: peak memory "
+        "and wall-clock vs the dense path, set fidelity, and an exact "
+        "KKT audit; exits nonzero on a mismatch or missed target",
+    )
     args = parser.parse_args(argv)
     if args.n_jobs < 1:
         parser.error("--n-jobs must be >= 1")
-    if args.datagen and args.monitor:
-        parser.error("--datagen and --monitor are mutually exclusive")
+    if sum((args.datagen, args.monitor, args.screen)) > 1:
+        parser.error(
+            "--datagen, --monitor and --screen are mutually exclusive"
+        )
+
+    if args.screen:
+        report = run_screen(quick=args.quick)
+        cmp_ = report["compare"]
+        large = report["large"]
+        print(
+            f"screen profile: {report['profile']}  "
+            f"compare M={cmp_['n_candidates']}  large M={large['n_candidates']}"
+        )
+        print(
+            f"compare: dense {cmp_['dense_s']:.2f}s / "
+            f"{cmp_['dense_peak_mb']:.1f} MB  screened "
+            f"{cmp_['screened_s']:.2f}s / {cmp_['screened_peak_mb']:.1f} MB  "
+            f"speedup {cmp_['speedup']:.2f}x  "
+            f"memory {cmp_['memory_reduction']:.1f}x  "
+            f"sets_identical={cmp_['sets_identical']}"
+        )
+        print(
+            f"large: screened {large['screened_s']:.2f}s / "
+            f"{large['screened_peak_mb']:.1f} MB vs dense Gram "
+            f"{large['dense_gram_mb']:.0f} MB  "
+            f"memory {large['memory_reduction']:.0f}x  "
+            f"selected {large['n_selected']}"
+        )
+        print(
+            f"counters: {report['counters']}  uncaught KKT: "
+            f"{cmp_['uncaught_kkt_violations'] + large['uncaught_kkt_violations']}"
+        )
+        if args.out:
+            _write_report(report, args.out)
+        if report["problems"]:
+            print(f"{len(report['problems'])} problem(s):")
+            for problem in report["problems"]:
+                print(f"  {problem}")
+            return 1
+        return 0
 
     if args.monitor:
         report = run_monitor(quick=args.quick)

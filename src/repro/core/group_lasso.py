@@ -43,6 +43,7 @@ from repro.utils.validation import check_matrix, check_non_negative, check_posit
 __all__ = [
     "GroupLassoResult",
     "SufficientStats",
+    "StrongRuleScreener",
     "WarmState",
     "group_lasso_penalized",
     "group_lasso_constrained",
@@ -110,7 +111,10 @@ class SufficientStats:
     Attributes
     ----------
     S:
-        ``(M, M)`` Gram matrix ``Z^T Z``.
+        ``(M, M)`` Gram matrix ``Z^T Z``; ``None`` in *lazy* mode
+        (``from_arrays(..., lazy=True)``), where the full Gram is never
+        materialized and dense sub-blocks are assembled on demand via
+        :meth:`slice` — the memory contract of strong-rule screening.
     A:
         ``(M, K)`` cross-products ``Z^T G``.
     diag_S:
@@ -119,24 +123,45 @@ class SufficientStats:
         ``tr(G^T G)`` — the data-dependent constant of the objective.
     n_samples:
         Number of rows N the statistics were computed from.
+    Z:
+        The feature matrix, retained only in lazy mode so sub-Grams and
+        exact dual residuals can be computed in O(N·m²) / O(N·M·K).
     """
 
-    S: np.ndarray
+    S: Optional[np.ndarray]
     A: np.ndarray
     diag_S: np.ndarray
     gram_G: float
     n_samples: int
+    Z: Optional[np.ndarray] = None
     _lipschitz: Optional[float] = None
     _ols_coef: Optional[np.ndarray] = None
     _ols_norm_sum: float = 0.0
 
     @classmethod
-    def from_arrays(cls, Z: np.ndarray, G: np.ndarray) -> "SufficientStats":
-        """Validate ``(Z, G)`` and compute the statistics (one Gram)."""
+    def from_arrays(
+        cls, Z: np.ndarray, G: np.ndarray, lazy: bool = False
+    ) -> "SufficientStats":
+        """Validate ``(Z, G)`` and compute the statistics.
+
+        With ``lazy=True`` the M×M Gram is *not* built: only ``A``,
+        ``diag(S)`` and ``tr(GᵀG)`` are computed (all O(N·M·K)), and
+        ``Z`` is kept so :meth:`slice` can assemble dense sub-problems
+        over screened survivor sets.
+        """
         Z = check_matrix(Z, "Z")
         G = check_matrix(G, "G", n_rows=Z.shape[0])
-        S = Z.T @ Z
         A = Z.T @ G
+        if lazy:
+            return cls(
+                S=None,
+                A=A,
+                diag_S=np.einsum("ij,ij->j", Z, Z),
+                gram_G=float(np.sum(G * G)),
+                n_samples=Z.shape[0],
+                Z=Z,
+            )
+        S = Z.T @ Z
         return cls(
             S=S,
             A=A,
@@ -146,9 +171,14 @@ class SufficientStats:
         )
 
     @property
+    def is_lazy(self) -> bool:
+        """Whether the full Gram is deferred (``S is None``)."""
+        return self.S is None
+
+    @property
     def n_features(self) -> int:
         """M — number of candidate groups."""
-        return self.S.shape[0]
+        return self.A.shape[0]
 
     @property
     def n_responses(self) -> int:
@@ -157,17 +187,80 @@ class SufficientStats:
 
     @property
     def mu_max(self) -> float:
-        """Smallest penalty at which the all-zero solution is optimal."""
+        """Smallest penalty at which the all-zero solution is optimal.
+
+        Each group's activation threshold at ``B = 0`` is ``||A[m]||_2``
+        (both solvers zero group ``m`` exactly when the residual
+        correlation norm is ``<= mu``), so the max row norm of ``A`` is
+        the path start: ``B(mu_max) == 0`` exactly, for FISTA and BCD
+        alike — pinned by regression tests, and the soundness anchor of
+        the sequential strong rule's step 0 (whose reference residuals
+        are the rows of ``A`` themselves).
+        """
         if self.A.size == 0:
             return 0.0
-        return float(np.max(np.linalg.norm(self.A, axis=1)))
+        norms = np.linalg.norm(self.A, axis=1)
+        top = float(norms.max())
+        if top == 0.0:
+            return 0.0
+        # The BCD sweep measures each residual row with the 1-D norm
+        # kernel, whose summation order can land one ulp above the
+        # axis-reduced value computed here; re-measure the near-max rows
+        # with that same kernel so no group's threshold exceeds mu_max.
+        near = np.nonzero(norms >= top * (1.0 - 1e-12))[0]
+        return max(top, *(float(np.linalg.norm(self.A[m])) for m in near))
 
     @property
     def lipschitz(self) -> float:
         """Cached spectral bound of ``S`` (the FISTA step-size bound)."""
+        if self.S is None:
+            raise ValueError(
+                "lazy SufficientStats carry no full Gram; solve on a "
+                "slice() instead"
+            )
         if self._lipschitz is None:
             self._lipschitz = _spectral_bound(self.S)
         return self._lipschitz
+
+    def slice(self, cols: np.ndarray) -> "SufficientStats":
+        """Dense sub-statistics over the candidate subset ``cols``.
+
+        The sub-Gram costs O(N·m²) in lazy mode (one small matmul on
+        the retained ``Z``) and a fancy-index copy otherwise; ``m``
+        is active-set sized under screening, so the full M×M Gram is
+        never touched.
+        """
+        cols = np.asarray(cols, dtype=np.intp)
+        if self.S is not None:
+            S_sub = self.S[np.ix_(cols, cols)]
+        else:
+            Zc = self.Z[:, cols]
+            S_sub = Zc.T @ Zc
+        return SufficientStats(
+            S=S_sub,
+            A=self.A[cols],
+            diag_S=self.diag_S[cols],
+            gram_G=self.gram_G,
+            n_samples=self.n_samples,
+        )
+
+    def dual_residual(
+        self, coef: np.ndarray, active: np.ndarray
+    ) -> np.ndarray:
+        """Exact dual residual ``C = A - S B^T`` for a group-sparse ``B``.
+
+        ``active`` indexes the nonzero columns of ``coef``; the product
+        is taken over them only, so the cost is O(N·M·K) in lazy mode
+        (via ``Zᵀ(Z Bᵀ)``, never forming ``S``) and O(M·a·K) dense.
+        Row norms of the result drive both the KKT check on screened-out
+        groups and the next strong-rule step.
+        """
+        if active.size == 0:
+            return self.A.copy()
+        Bat = coef[:, active].T
+        if self.S is not None:
+            return self.A - self.S[:, active] @ Bat
+        return self.A - self.Z.T @ (self.Z[:, active] @ Bat)
 
     def ols(self, Z: np.ndarray, G: np.ndarray) -> Tuple[np.ndarray, float]:
         """Cached unpenalized least-squares solution and its norm sum.
@@ -201,6 +294,199 @@ class WarmState:
 
     coef: np.ndarray
     penalty: float
+
+
+class StrongRuleScreener:
+    """Sequential strong-rule group screening over a penalty path.
+
+    Carries the state the rule needs between solves on one ``(Z, G)``
+    problem: the dual residual norms ``||c_g|| = ||A_g - S_g B^T||`` of
+    the last solution and the penalty ``mu_ref`` it was solved at.  A
+    solve at ``mu`` then *discards* every group outside the warm active
+    set with
+
+    .. math::  \\|c_g(\\mu_{ref})\\| < 2\\mu - \\mu_{ref}
+
+    (the sequential strong rule of Tibshirani et al.; for ``mu`` above
+    the reference the symmetric slope bound ``mu - |mu - mu_ref|`` is
+    used, which reduces to the rule above on a descending path) and
+    solves the penalized problem on a dense :meth:`SufficientStats.slice`
+    over the survivors only.  The rule is a heuristic, so every screened
+    solve is followed by an exact KKT check on the discarded set
+    (``||A_g - S_g B^T|| <= mu``); violators are re-admitted — seeded
+    with their exact single-group update — and the solve repeats until
+    the check is clean.  The survivor set grows monotonically, so the
+    loop terminates after at most M re-admission rounds.
+
+    A fresh screener starts from the exact path head: ``B(mu_max) == 0``
+    and its residuals are the rows of ``A``, so ``mu_ref = mu_max`` and
+    ``c_norms = ||A_g||`` describe an *exact* solution and step 0 of the
+    rule is sound.  When the reference is too stale to bound anything
+    (``mu - |mu - mu_ref| <= 0``) the screener falls back to the basic
+    strong-rule bound ``mu`` instead of keeping everything — still
+    KKT-safeguarded, and it keeps the survivor slice (and therefore
+    peak memory) active-set sized even after a long warm jump.
+
+    Telemetry: every screened solve adds its discarded-group count to
+    the ``path.screen_dropped`` counter and its re-admissions to
+    ``path.kkt_violations``; the same totals accumulate on
+    :attr:`n_dropped` / :attr:`n_violations` for registry-free callers.
+    """
+
+    def __init__(self, stats: SufficientStats, max_slices: int = 16) -> None:
+        self.stats = stats
+        self.c_norms = (
+            np.linalg.norm(stats.A, axis=1)
+            if stats.A.size
+            else np.zeros(stats.n_features)
+        )
+        self.mu_ref = stats.mu_max
+        self.n_dropped = 0
+        self.n_violations = 0
+        self._slices: "dict[bytes, SufficientStats]" = {}
+        self._slice_order: "list[bytes]" = []
+        self._max_slices = max(1, int(max_slices))
+
+    def survivors(self, mu: float, keep: np.ndarray) -> np.ndarray:
+        """Strong-rule survivor set at ``mu`` (always includes ``keep``)."""
+        bound = mu - abs(mu - self.mu_ref)
+        if bound <= 0.0:
+            bound = mu  # stale reference: basic rule, KKT-backed
+        mask = self.c_norms >= bound
+        mask[np.asarray(keep, dtype=np.intp)] = True
+        return np.nonzero(mask)[0]
+
+    def slice(self, cols: np.ndarray) -> SufficientStats:
+        """Cached dense sub-statistics over ``cols`` (small LRU)."""
+        key = cols.tobytes()
+        sub = self._slices.get(key)
+        if sub is None:
+            sub = self.stats.slice(cols)
+            self._slices[key] = sub
+            self._slice_order.append(key)
+            while len(self._slice_order) > self._max_slices:
+                self._slices.pop(self._slice_order.pop(0), None)
+        return sub
+
+    def update(self, c_norms: np.ndarray, mu: float) -> None:
+        """Install the residual norms of a fresh solution at ``mu``."""
+        self.c_norms = c_norms
+        self.mu_ref = float(mu)
+
+
+def _solve_screened(
+    screener: StrongRuleScreener,
+    mu: float,
+    max_iter: int,
+    tol: float,
+    warm_start: Optional[np.ndarray],
+    method: str,
+) -> GroupLassoResult:
+    """One screened penalized solve: slice, solve, KKT-check, re-admit."""
+    check_positive(mu, "mu")
+    stats = screener.stats
+    n_features, n_responses = stats.n_features, stats.n_responses
+    if warm_start is not None:
+        warm = np.array(warm_start, dtype=float, copy=True)
+        if warm.shape != (n_responses, n_features):
+            raise ValueError(
+                f"warm_start must be ({n_responses}, {n_features}), "
+                f"got {warm.shape}"
+            )
+    else:
+        warm = np.zeros((n_responses, n_features))
+    keep = np.nonzero(np.linalg.norm(warm, axis=0) > 0)[0]
+    surv = screener.survivors(mu, keep)
+    # Violations smaller than the solve's own accuracy are iterate
+    # noise, not KKT failures; re-admitting them would thrash.
+    slack = mu * max(1e-8, 10.0 * tol)
+    readmitted = 0
+    B = np.zeros((n_responses, n_features))
+    res = None
+    c_norms = screener.c_norms
+    for _round in range(n_features + 1):
+        sub = screener.slice(surv)
+        res = group_lasso_penalized(
+            None, None, mu, max_iter=max_iter, tol=tol,
+            warm_start=warm[:, surv], method=method, stats=sub,
+        )
+        B = np.zeros((n_responses, n_features))
+        B[:, surv] = res.coef
+        active = surv[np.linalg.norm(res.coef, axis=0) > 0]
+        C = stats.dual_residual(B, active)
+        c_norms = np.linalg.norm(C, axis=1)
+        viol = (c_norms > mu + slack) & (stats.diag_S > 1e-15)
+        viol[surv] = False
+        if not np.any(viol):
+            break
+        idx = np.nonzero(viol)[0]
+        readmitted += idx.size
+        warm = B
+        warm[:, idx] = ((1.0 - mu / c_norms[idx]) / stats.diag_S[idx]) * C[idx].T
+        surv = np.union1d(surv, idx)
+    screener.update(c_norms, mu)
+    dropped = n_features - surv.size
+    screener.n_dropped += dropped
+    screener.n_violations += readmitted
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("path.screen_dropped").inc(dropped)
+        if readmitted:
+            registry.counter("path.kkt_violations").inc(readmitted)
+    return GroupLassoResult(
+        coef=B,
+        penalty=mu,
+        objective=res.objective,
+        n_iterations=res.n_iterations,
+        converged=res.converged,
+        final_residual=res.final_residual,
+    )
+
+
+def _refine_screened(
+    screener: StrongRuleScreener,
+    mu: float,
+    B0: np.ndarray,
+    tol: float = 1e-9,
+) -> Optional[np.ndarray]:
+    """Screened :func:`_active_refine`: refine on the survivor slice,
+    KKT-check the discarded set exactly, re-admit and repeat.
+
+    Returns the refined full-width coefficients, or ``None`` when the
+    slice refinement stalls (callers fall back to a strict screened
+    first-order solve).
+    """
+    stats = screener.stats
+    n_features, n_responses = stats.n_features, stats.n_responses
+    B = np.array(B0, dtype=float, copy=True)
+    keep = np.nonzero(np.linalg.norm(B, axis=0) > 0)[0]
+    surv = screener.survivors(mu, keep)
+    readmitted = 0
+    for _round in range(n_features + 1):
+        sub = screener.slice(surv)
+        refined = _active_refine(sub.S, sub.A, sub.diag_S, mu, B[:, surv], tol=tol)
+        if refined is None:
+            return None
+        B = np.zeros((n_responses, n_features))
+        B[:, surv] = refined
+        active = surv[np.linalg.norm(refined, axis=0) > 0]
+        C = stats.dual_residual(B, active)
+        c_norms = np.linalg.norm(C, axis=1)
+        viol = (c_norms > mu * (1.0 + 1e-8)) & (stats.diag_S > 1e-15)
+        viol[surv] = False
+        if not np.any(viol):
+            screener.update(c_norms, mu)
+            if readmitted:
+                screener.n_violations += readmitted
+                registry = get_registry()
+                if registry.enabled:
+                    registry.counter("path.kkt_violations").inc(readmitted)
+            return B
+        idx = np.nonzero(viol)[0]
+        readmitted += idx.size
+        B[:, idx] = ((1.0 - mu / c_norms[idx]) / stats.diag_S[idx]) * C[idx].T
+        surv = np.union1d(surv, idx)
+    return None
 
 
 def _objective(
@@ -485,6 +771,7 @@ def group_lasso_penalized(
     warm_start: Optional[np.ndarray] = None,
     method: str = "fista",
     stats: Optional[SufficientStats] = None,
+    screen: Optional[StrongRuleScreener] = None,
 ) -> GroupLassoResult:
     """Solve ``min 1/2 ||G - Z B^T||_F^2 + mu * sum_m ||B_m||_2``.
 
@@ -518,6 +805,15 @@ def group_lasso_penalized(
         When given, no Gram matrix is recomputed (``Z``/``G`` are not
         read) and the solve counts into the ``path.gram_reuse``
         metric; the solution is bit-identical to the uncached path.
+    screen:
+        Optional :class:`StrongRuleScreener` over this problem.  When
+        given (requires ``mu > 0``), the solve runs on the strong-rule
+        survivor slice only, followed by an exact KKT check on the
+        discarded groups with violator re-admission until clean — see
+        :class:`StrongRuleScreener`.  The screener's ``stats`` are used
+        (``Z``/``G``/``stats`` may be ``None``) and may be *lazy*
+        (:meth:`SufficientStats.from_arrays` with ``lazy=True``), so
+        the full ``M×M`` Gram is never materialized.
 
     Returns
     -------
@@ -536,11 +832,22 @@ def group_lasso_penalized(
     check_positive(tol, "tol")
     if method not in ("fista", "bcd"):
         raise ValueError(f"unknown method {method!r}; use 'fista' or 'bcd'")
+    if screen is not None:
+        if stats is not None and stats is not screen.stats:
+            raise ValueError(
+                "stats and screen.stats must be the same object"
+            )
+        return _solve_screened(screen, mu, max_iter, tol, warm_start, method)
     stats_reused = stats is not None
     if stats is None:
         if Z is None or G is None:
             raise ValueError("Z and G are required when stats is not given")
         stats = SufficientStats.from_arrays(Z, G)
+    elif stats.is_lazy:
+        raise ValueError(
+            "lazy SufficientStats require screening; pass screen= or "
+            "solve on a slice()"
+        )
     S, A, diag_S, gram_G = stats.S, stats.A, stats.diag_S, stats.gram_G
     n_features = stats.n_features
     n_responses = stats.n_responses
@@ -627,6 +934,7 @@ def group_lasso_constrained(
     warm: Optional[WarmState] = None,
     reuse_gram: bool = True,
     probe_tol: Optional[float] = None,
+    screen: "bool | StrongRuleScreener | None" = None,
 ) -> GroupLassoResult:
     """Solve the paper's Eq. (12): minimize the fit subject to
     ``sum_m ||beta_m||_2 <= budget``.
@@ -665,6 +973,17 @@ def group_lasso_constrained(
         is always re-polished at ``solver_tol`` and re-checked against
         the budget.  ``None`` (default) runs every solve at
         ``solver_tol`` — the pre-path-engine behaviour.
+    screen:
+        Strong-rule group screening (see :class:`StrongRuleScreener`).
+        ``None``/``False`` (default) disables it — the unscreened path
+        is bit-identical to previous releases.  ``True`` builds a fresh
+        screener (and, when ``stats`` is not given, *lazy* statistics
+        that never materialize the ``M×M`` Gram).  Passing a
+        :class:`StrongRuleScreener` instance reuses its sequential
+        state — the previous solve's dual residuals — across budgets,
+        which is how the path engine threads the rule along a λ sweep.
+        Every screened solve is KKT-safeguarded, so the returned
+        solution solves the same problem to the same tolerance.
 
     Returns
     -------
@@ -691,14 +1010,14 @@ def group_lasso_constrained(
         return _constrained(
             Z, G, budget, rtol, max_bisections, solver_max_iter, solver_tol,
             method, stats=stats, warm=warm, reuse_gram=reuse_gram,
-            probe_tol=probe_tol,
+            probe_tol=probe_tol, screen=screen,
         )
     with span("fit.group_lasso", budget=float(budget)) as sp:
         iters_before = registry.counter("group_lasso.iterations").value
         result = _constrained(
             Z, G, budget, rtol, max_bisections, solver_max_iter, solver_tol,
             method, stats=stats, warm=warm, reuse_gram=reuse_gram,
-            probe_tol=probe_tol,
+            probe_tol=probe_tol, screen=screen,
         )
         total_iterations = (
             registry.counter("group_lasso.iterations").value - iters_before
@@ -732,13 +1051,30 @@ def _constrained(
     warm: Optional[WarmState] = None,
     reuse_gram: bool = True,
     probe_tol: Optional[float] = None,
+    screen: "bool | StrongRuleScreener | None" = None,
 ) -> GroupLassoResult:
     """The actual constrained solve (see :func:`group_lasso_constrained`)."""
     check_positive(budget, "budget")
     Z = check_matrix(Z, "Z")
     G = check_matrix(G, "G", n_rows=Z.shape[0])
     if stats is None:
-        stats = SufficientStats.from_arrays(Z, G)
+        stats = SufficientStats.from_arrays(Z, G, lazy=bool(screen))
+    screener: Optional[StrongRuleScreener] = None
+    if isinstance(screen, StrongRuleScreener):
+        screener = screen
+        if screener.stats.n_features != stats.n_features:
+            raise ValueError(
+                "screen carries state for a different problem: "
+                f"{screener.stats.n_features} features vs "
+                f"{stats.n_features}"
+            )
+        stats = screener.stats
+    elif screen:
+        screener = StrongRuleScreener(stats)
+    if stats.is_lazy and screener is None:
+        raise ValueError(
+            "lazy SufficientStats require screening; pass screen=True"
+        )
     inner_stats = stats if reuse_gram else None
     n_responses, n_features = stats.n_responses, stats.n_features
     registry = get_registry()
@@ -750,14 +1086,21 @@ def _constrained(
     # cached on the stats, so bisections over budgets pay for it once.
     ols_coef, ols_norm_sum = stats.ols(Z, G)
     if ols_norm_sum <= budget * (1.0 + rtol):
-        active = np.arange(n_features)
+        if stats.is_lazy:
+            # No dense Gram to feed _objective; the raw residual is
+            # O(N·M·K) and exact.
+            resid = G - Z @ ols_coef.T
+            objective = 0.5 * float(np.sum(resid * resid))
+        else:
+            active = np.arange(n_features)
+            objective = _objective(
+                ols_coef, stats.S, stats.A, stats.gram_G, 0.0, active
+            )
         return GroupLassoResult(
             coef=ols_coef.copy(),
             penalty=0.0,
             budget=budget,
-            objective=_objective(
-                ols_coef, stats.S, stats.A, stats.gram_G, 0.0, active
-            ),
+            objective=objective,
             n_iterations=0,
             converged=True,
         )
@@ -785,7 +1128,9 @@ def _constrained(
         return group_lasso_penalized(
             Z, G, mu, max_iter=solver_max_iter,
             tol=bracket_tol if tol is None else tol,
-            warm_start=warm_coef, method=method, stats=inner_stats,
+            warm_start=warm_coef, method=method,
+            stats=stats if screener is not None else inner_stats,
+            screen=screener,
         )
 
     def certify(result: GroupLassoResult) -> GroupLassoResult:
@@ -803,19 +1148,33 @@ def _constrained(
         its starting point.  Use it for feasibility verdicts; return
         :func:`polish` output to the caller.
         """
-        refined = _active_refine(
-            stats.S, stats.A, stats.diag_S, result.penalty, result.coef
-        )
+        if screener is not None:
+            refined = _refine_screened(screener, result.penalty, result.coef)
+        else:
+            refined = _active_refine(
+                stats.S, stats.A, stats.diag_S, result.penalty, result.coef
+            )
         if refined is None:
             return solve(result.penalty, result.coef.copy(), tol=solver_tol)
         active = np.nonzero(np.linalg.norm(refined, axis=0) > 0)[0]
+        if screener is not None:
+            if active.size:
+                sub = screener.slice(active)
+                objective = _objective(
+                    refined[:, active], sub.S, sub.A, stats.gram_G,
+                    result.penalty, np.arange(active.size),
+                )
+            else:
+                objective = 0.5 * stats.gram_G
+        else:
+            objective = _objective(
+                refined, stats.S, stats.A, stats.gram_G,
+                result.penalty, active,
+            )
         return GroupLassoResult(
             coef=refined,
             penalty=result.penalty,
-            objective=_objective(
-                refined, stats.S, stats.A, stats.gram_G,
-                result.penalty, active,
-            ),
+            objective=objective,
             n_iterations=max(1, result.n_iterations),
             converged=True,
             final_residual=0.0,

@@ -84,6 +84,10 @@ def sweep_lambda(
     base_config:
         Template config; its ``budget`` field is overridden per sweep
         point.  Defaults to per-core fitting with the paper's T.
+        Set ``screen=True`` on it to run the whole sweep with
+        sequential strong-rule candidate screening (KKT-safeguarded;
+        the dense Gram is never built and the screener state rides
+        along the budget path together with the warm starts).
     test_fraction:
         Held-out fraction for scoring.
     rng:

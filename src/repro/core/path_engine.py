@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.obs import MetricsRegistry, get_registry, span, thread_registry
 from repro.core.group_lasso import (
+    StrongRuleScreener,
     SufficientStats,
     WarmState,
     group_lasso_constrained,
@@ -73,6 +74,7 @@ class _ScopeState:
     g: np.ndarray
     stats: SufficientStats
     warm: Optional[WarmState] = None
+    screener: Optional[StrongRuleScreener] = None
 
 
 class LambdaPathEngine:
@@ -88,6 +90,15 @@ class LambdaPathEngine:
     n_jobs:
         Worker threads for independent scopes (defaults to
         ``base_config.n_jobs``).
+    screen:
+        Strong-rule candidate screening (defaults to
+        ``base_config.screen``).  When on, each scope keeps *lazy*
+        sufficient statistics — the dense ``M×M`` Gram is never built —
+        plus one :class:`~repro.core.group_lasso.StrongRuleScreener`
+        whose sequential state (the previous solve's dual residuals)
+        rides along the budget path exactly like the warm starts.
+        Every screened solve is KKT-safeguarded, so selected sets
+        match the unscreened engine.
 
     Notes
     -----
@@ -103,12 +114,16 @@ class LambdaPathEngine:
         dataset: VoltageDataset,
         base_config: Optional[PipelineConfig] = None,
         n_jobs: Optional[int] = None,
+        screen: Optional[bool] = None,
     ) -> None:
         if base_config is None:
             base_config = PipelineConfig(budget=1.0)
         self.dataset = dataset
         self.base_config = base_config
         self.n_jobs = base_config.n_jobs if n_jobs is None else max(1, int(n_jobs))
+        self.screen = bool(
+            getattr(base_config, "screen", False) if screen is None else screen
+        )
         with span("path.prepare", n_jobs=self.n_jobs):
             self._scopes = [
                 self._prepare_scope(core, cand, blocks)
@@ -123,7 +138,7 @@ class LambdaPathEngine:
     ) -> _ScopeState:
         X = self.dataset.X[:, candidate_cols]
         F = self.dataset.F[:, block_cols]
-        z, g, stats = prepare_stats(X, F)
+        z, g, stats = prepare_stats(X, F, lazy=self.screen)
         return _ScopeState(
             core_index=core_index,
             candidate_cols=candidate_cols,
@@ -133,6 +148,7 @@ class LambdaPathEngine:
             z=z,
             g=g,
             stats=stats,
+            screener=StrongRuleScreener(stats) if self.screen else None,
         )
 
     @property
@@ -189,6 +205,7 @@ class LambdaPathEngine:
                 warm=state.warm,
                 reuse_gram=cfg.reuse_gram,
                 probe_tol=cfg.probe_tol,
+                screen=state.screener,
             )
             # Update the warm seed before thresholding: even a solve
             # whose selection comes up empty brackets the dual penalty

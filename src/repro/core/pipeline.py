@@ -65,6 +65,14 @@ class PipelineConfig:
         solver; the accepted solution is always re-polished at
         ``solver_tol``.  ``None`` runs every probe at ``solver_tol``
         (the pre-path-engine behaviour).
+    screen:
+        When ``True``, the constrained solves use sequential
+        strong-rule candidate screening with a KKT safeguard
+        (:class:`~repro.core.group_lasso.StrongRuleScreener`): each
+        solve runs on a small survivor slice of the candidates and the
+        dense ``M×M`` Gram is never materialized.  Selected sets match
+        the unscreened path; ``False`` (default) keeps the fitting
+        path bit-identical to previous releases.
     """
 
     budget: float
@@ -77,6 +85,7 @@ class PipelineConfig:
     n_jobs: int = 1
     reuse_gram: bool = True
     probe_tol: Optional[float] = 1e-5
+    screen: bool = False
 
     def __post_init__(self) -> None:
         check_positive(self.budget, "budget")
@@ -308,6 +317,7 @@ def _fit_scope(
             warm=warm,
             reuse_gram=config.reuse_gram,
             probe_tol=config.probe_tol,
+            screen=config.screen,
         )
         predictor = VoltagePredictor.fit(
             X,

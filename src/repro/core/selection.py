@@ -80,7 +80,7 @@ class SelectionResult:
 
 
 def prepare_stats(
-    X: np.ndarray, F: np.ndarray
+    X: np.ndarray, F: np.ndarray, lazy: bool = False
 ) -> Tuple[np.ndarray, np.ndarray, SufficientStats]:
     """Standardize ``(X, F)`` and build the solver sufficient statistics.
 
@@ -90,12 +90,17 @@ def prepare_stats(
     back into :func:`select_sensors` (or the constrained solver) makes
     every solve of a λ path reuse one Gram computation, with
     bit-identical coefficients.
+
+    With ``lazy=True`` the statistics skip the dense ``M×M`` Gram
+    (``S = ZᵀZ``) and retain ``z`` instead; they are only usable with
+    strong-rule screening (``screen=``), which assembles small Gram
+    slices on demand.
     """
     X = check_matrix(X, "X")
     F = check_matrix(F, "F", n_rows=X.shape[0])
     z = Standardizer().fit_transform(X)
     g = Standardizer().fit_transform(F)
-    return z, g, SufficientStats.from_arrays(z, g)
+    return z, g, SufficientStats.from_arrays(z, g, lazy=lazy)
 
 
 def threshold_selection(
@@ -138,6 +143,7 @@ def select_sensors(
     warm: Optional[WarmState] = None,
     reuse_gram: bool = True,
     probe_tol: Optional[float] = None,
+    screen=None,
 ) -> SelectionResult:
     """Run paper Steps 3-5: normalize, solve GL, threshold ``||beta_m||``.
 
@@ -169,6 +175,12 @@ def select_sensors(
         Optional looser tolerance for bracket probes inside the
         constrained solve (the result is re-polished at
         ``solver_tol``); ``None`` keeps every solve at ``solver_tol``.
+    screen:
+        Strong-rule screening control, forwarded to
+        :func:`~repro.core.group_lasso.group_lasso_constrained`:
+        ``None``/``False`` off (default), ``True`` a fresh screener, or
+        a :class:`~repro.core.group_lasso.StrongRuleScreener` carrying
+        sequential state along a λ path.
 
     Returns
     -------
@@ -199,5 +211,6 @@ def select_sensors(
         warm=warm,
         reuse_gram=reuse_gram,
         probe_tol=probe_tol,
+        screen=screen,
     )
     return threshold_selection(gl, budget, threshold)

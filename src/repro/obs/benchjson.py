@@ -1,7 +1,7 @@
 """Shared schema for the ``BENCH_*.json`` benchmark reports.
 
-The three ``benchmarks/run_bench.py`` modes (λ sweep, datagen,
-monitor) historically drifted in field names — the sweep report did
+The ``benchmarks/run_bench.py`` modes (λ sweep, datagen, monitor,
+screen) historically drifted in field names — the sweep report did
 not even carry a ``mode`` stamp.  This module pins the contract down:
 
 * :data:`BENCH_SCHEMA` — the schema tag ``run_bench.py`` stamps into
@@ -32,8 +32,8 @@ __all__ = [
 #: Schema tag stamped into every bench report written from now on.
 BENCH_SCHEMA = "repro.bench/v1"
 
-#: The three benchmark modes ``run_bench.py`` produces.
-MODES = ("sweep", "datagen", "monitor")
+#: The benchmark modes ``run_bench.py`` produces.
+MODES = ("sweep", "datagen", "monitor", "screen")
 
 #: Fields every report of a mode must carry to be considered valid.
 _REQUIRED_FIELDS = {
@@ -45,6 +45,7 @@ _REQUIRED_FIELDS = {
     "monitor": (
         "loop_s", "batch_s", "speedup", "identity", "failover", "problems",
     ),
+    "screen": ("compare", "large", "counters", "problems"),
 }
 
 
@@ -154,6 +155,24 @@ def normalize_bench(doc: Dict[str, Any]) -> Dict[str, Any]:
         equality = doc.get("equality", {})
         if isinstance(equality, dict):
             _scalar(scalars, equality, "max_ulp32")
+        scalars["problems"] = float(len(doc.get("problems", [])))
+    elif mode == "screen":
+        counters.update(doc.get("counters", {}))
+        compare = doc.get("compare", {})
+        if isinstance(compare, dict):
+            _scalar(
+                scalars, compare,
+                "dense_s", "screened_s", "speedup",
+                "dense_peak_mb", "screened_peak_mb", "memory_reduction",
+            )
+        large = doc.get("large", {})
+        if isinstance(large, dict):
+            _scalar(
+                scalars, large,
+                "screened_s", "screened_peak_mb",
+                "dense_gram_mb", "memory_reduction",
+                "uncaught_kkt_violations",
+            )
         scalars["problems"] = float(len(doc.get("problems", [])))
     else:  # monitor
         failover = doc.get("failover", {})

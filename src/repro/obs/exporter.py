@@ -49,11 +49,31 @@ _SHARD_SUFFIX = re.compile(r"^(?P<base>.+)\[(?P<shard>[^\]]+)\]$")
 
 
 def _metric_name(namespace: str, name: str) -> str:
-    """Sanitize a dotted instrument name into a Prometheus metric name."""
+    """Sanitize a dotted instrument name into a Prometheus metric name.
+
+    The result always matches the exposition grammar's
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*``: invalid characters become ``_``, a
+    leading digit is guarded, and an instrument whose name sanitizes
+    away entirely still yields the valid ``_``.
+    """
     flat = _INVALID_CHARS.sub("_", f"{namespace}_{name}" if namespace else name)
-    if flat and flat[0].isdigit():
+    if not flat:
+        return "_"
+    if flat[0].isdigit():
         flat = "_" + flat
     return flat
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format (0.0.4).
+
+    Backslash first (so the other escapes aren't double-escaped), then
+    quote and newline — a raw newline inside a label value would
+    terminate the sample line and corrupt the whole exposition.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
 
 
 def _split_shard(name: str) -> "tuple[str, str]":
@@ -61,7 +81,7 @@ def _split_shard(name: str) -> "tuple[str, str]":
     match = _SHARD_SUFFIX.match(name)
     if match is None:
         return name, ""
-    shard = match.group("shard").replace("\\", "\\\\").replace('"', '\\"')
+    shard = _escape_label_value(match.group("shard"))
     return match.group("base"), f'shard="{shard}"'
 
 

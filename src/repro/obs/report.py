@@ -26,15 +26,20 @@ gate applies to *timer percentiles*, whose per-operation distributions
 are far more stable than end-to-end walls.
 
 Exit status: 0 when no regression, 1 when at least one metric regressed
-beyond its threshold, 2 on usage/load errors.  CI runs this
-non-blocking (``|| true``) against the committed BENCH baselines and
-archives the JSON verdict as a workflow artifact.
+beyond its threshold, 2 on usage/load errors — including artifacts
+whose metrics *cannot be aligned*: a missing or malformed ``metrics``
+section, a non-numeric counter, or a NaN/infinite metric value each
+abort with a "cannot align" message instead of producing a diff that
+silently treats the bad value as "ok".  CI runs this non-blocking
+(``|| true``) against the committed BENCH baselines and archives the
+JSON verdict as a workflow artifact.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import re
 import sys
 from typing import Any, Dict, List, Optional
@@ -125,13 +130,47 @@ def normalize_manifest(doc: Dict[str, Any]) -> Dict[str, Any]:
     fields carry ``p99_s``); Group-Lasso convergence events fold into
     total-iteration scalars; per-experiment wall times are carried as
     informational scalars.
+
+    Raises
+    ------
+    ValueError
+        With a "cannot align" message when the manifest carries no
+        usable ``metrics`` section, a non-mapping counter/timer table,
+        a non-numeric counter value, or a non-mapping timer summary —
+        a diff over such a manifest would silently drop or misread
+        metrics.
     """
-    metrics = doc.get("metrics", {}) or {}
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ValueError(
+            "manifest has no usable 'metrics' section — cannot align"
+        )
+    counters_raw = metrics.get("counters", {}) or {}
+    if not isinstance(counters_raw, dict):
+        raise ValueError("manifest 'counters' is not a mapping — cannot align")
+    counters: Dict[str, float] = {}
+    for name, value in counters_raw.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(
+                f"cannot align: counter {name!r} has non-numeric value "
+                f"{value!r}"
+            )
+        counters[str(name)] = float(value)
+    timers_raw = metrics.get("timers", {}) or {}
+    if not isinstance(timers_raw, dict):
+        raise ValueError("manifest 'timers' is not a mapping — cannot align")
+    for name, summary in timers_raw.items():
+        if not isinstance(summary, dict):
+            raise ValueError(
+                f"cannot align: timer {name!r} summary is not a mapping"
+            )
     scalars: Dict[str, float] = {}
     elapsed = doc.get("elapsed_s")
     if isinstance(elapsed, (int, float)):
         scalars["elapsed_s"] = float(elapsed)
-    convergence = doc.get("group_lasso", []) or []
+    convergence = [
+        e for e in (doc.get("group_lasso", []) or []) if isinstance(e, dict)
+    ]
     if convergence:
         scalars["group_lasso.iterations"] = float(
             sum(e.get("iterations", 0) for e in convergence)
@@ -140,6 +179,8 @@ def normalize_manifest(doc: Dict[str, Any]) -> Dict[str, Any]:
             sum(e.get("total_iterations", 0) for e in convergence)
         )
     for timing in doc.get("experiments", []) or []:
+        if not isinstance(timing, dict):
+            continue
         name = timing.get("experiment")
         wall = timing.get("wall_s")
         if name and isinstance(wall, (int, float)):
@@ -147,13 +188,43 @@ def normalize_manifest(doc: Dict[str, Any]) -> Dict[str, Any]:
     return {
         "kind": "manifest",
         "mode": "manifest",
-        "counters": {
-            str(k): float(v)
-            for k, v in (metrics.get("counters", {}) or {}).items()
-        },
-        "timers": dict(metrics.get("timers", {}) or {}),
+        "counters": counters,
+        "timers": dict(timers_raw),
         "scalars": scalars,
     }
+
+
+def _check_alignable(path: str, run: Dict[str, Any]) -> Dict[str, Any]:
+    """Reject normalized runs carrying NaN/infinite metric values.
+
+    A NaN compares false against every threshold, so without this
+    check a NaN p99 (or speedup, or error figure) would flow through
+    :func:`diff_runs` and land on "ok" — the one verdict it must never
+    produce.  Raises ``ValueError`` with the documented "cannot align"
+    message (exit code 2 via :func:`main`).
+    """
+    def reject(metric: str, value: Any) -> None:
+        raise ValueError(
+            f"{path}: cannot align: metric {metric} has unusable value "
+            f"{value!r}"
+        )
+
+    for kind in ("counters", "scalars"):
+        for name, value in run[kind].items():
+            if not math.isfinite(value):
+                reject(f"{kind[:-1]}:{name}", value)
+    for name, summary in run["timers"].items():
+        for field in ("p99_s", "count"):
+            value = summary.get(field)
+            if value is None:
+                continue
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, (int, float))
+                or not math.isfinite(value)
+            ):
+                reject(f"timer:{name}.{field}", value)
+    return run
 
 
 def load_run(path: str) -> Dict[str, Any]:
@@ -162,7 +233,9 @@ def load_run(path: str) -> Dict[str, Any]:
     Raises
     ------
     ValueError
-        On unreadable JSON or a bench report failing validation.
+        On unreadable JSON, a bench report failing validation, or
+        metrics that cannot be aligned (missing ``metrics`` section,
+        non-numeric counters, NaN/infinite values).
     """
     try:
         with open(path, "r", encoding="utf-8") as fh:
@@ -175,12 +248,16 @@ def load_run(path: str) -> Dict[str, Any]:
     if schema.startswith("repro.obs.manifest/") or (
         "metrics" in doc and "spans" in doc
     ):
-        return normalize_manifest(doc)
+        try:
+            run = normalize_manifest(doc)
+        except ValueError as exc:
+            raise ValueError(f"{path}: {exc}") from exc
+        return _check_alignable(path, run)
     problems = validate_bench(doc)
     if problems:
         detail = "; ".join(problems)
         raise ValueError(f"{path}: invalid bench report: {detail}")
-    return normalize_bench(doc)
+    return _check_alignable(path, normalize_bench(doc))
 
 
 def _diff_value(

@@ -33,7 +33,7 @@ def _committed_bench(name):
 
 
 class TestBenchSchema:
-    @pytest.mark.parametrize("name", ["sweep", "datagen", "monitor"])
+    @pytest.mark.parametrize("name", ["sweep", "datagen", "monitor", "screen"])
     def test_committed_baselines_validate(self, name):
         _, doc = _committed_bench(name)
         assert validate_bench(doc) == []
@@ -66,7 +66,7 @@ class TestBenchSchema:
         problems = validate_bench(doc)
         assert any("speedup" in p for p in problems)
 
-    @pytest.mark.parametrize("name", ["sweep", "datagen", "monitor"])
+    @pytest.mark.parametrize("name", ["sweep", "datagen", "monitor", "screen"])
     def test_normalize_shape(self, name):
         _, doc = _committed_bench(name)
         norm = normalize_bench(doc)
@@ -235,3 +235,85 @@ class TestReportCLI:
         out = capsys.readouterr().out
         assert "WARNING" in out
         assert code in (0, 1)
+
+
+def _worked_manifest():
+    import repro.obs as obs
+
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        registry.counter("datagen.batch_solve").inc(4)
+        for i in range(20):
+            registry.timer("fit.scope").record((i + 1) * 1e-4)
+        return obs.build_manifest(registry, profile="test")
+
+
+class TestCannotAlign:
+    """Unalignable metrics must exit 2 with a message, not a traceback."""
+
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_nan_p99_manifest_exit_two(self, tmp_path, capsys):
+        good = _worked_manifest()
+        bad = copy.deepcopy(good)
+        bad["metrics"]["timers"]["fit.scope"]["p99_s"] = float("nan")
+        a = self._write(tmp_path, "a.json", good)
+        b = self._write(tmp_path, "b.json", bad)
+        assert main([a, b]) == 2
+        err = capsys.readouterr().err
+        assert "cannot align" in err
+        assert "p99_s" in err
+
+    def test_absent_metrics_section_exit_two(self, tmp_path, capsys):
+        good = _worked_manifest()
+        bad = copy.deepcopy(good)
+        del bad["metrics"]
+        a = self._write(tmp_path, "a.json", good)
+        b = self._write(tmp_path, "b.json", bad)
+        assert main([a, b]) == 2
+        assert "cannot align" in capsys.readouterr().err
+
+    def test_nan_bench_scalar_exit_two(self, tmp_path, capsys):
+        path, doc = _committed_bench("sweep")
+        bad = copy.deepcopy(doc)
+        bad["engine_s"] = float("nan")
+        bad_path = self._write(tmp_path, "bad.json", bad)
+        assert main([path, bad_path]) == 2
+        err = capsys.readouterr().err
+        assert "cannot align" in err
+        assert "engine_s" in err
+
+    def test_non_numeric_counter_exit_two(self, tmp_path, capsys):
+        good = _worked_manifest()
+        bad = copy.deepcopy(good)
+        bad["metrics"]["counters"]["datagen.batch_solve"] = "four"
+        a = self._write(tmp_path, "a.json", good)
+        b = self._write(tmp_path, "b.json", bad)
+        assert main([a, b]) == 2
+        assert "cannot align" in capsys.readouterr().err
+
+    def test_non_dict_event_entries_are_skipped(self, tmp_path):
+        # Junk entries in the event lists must not crash the load; the
+        # numeric entries still fold into scalars.
+        good = _worked_manifest()
+        weird = copy.deepcopy(good)
+        weird["group_lasso"] = [
+            {"iterations": 3, "total_iterations": 5},
+            "garbage",
+        ]
+        weird["experiments"] = ["garbage", {"experiment": "e1", "wall_s": 1.5}]
+        run = load_run(self._write(tmp_path, "w.json", weird))
+        assert run["scalars"]["group_lasso.iterations"] == 3.0
+        assert run["scalars"]["experiment.e1.wall_s"] == 1.5
+
+    def test_empty_workers_datagen_loads_and_diffs_ok(self, tmp_path, capsys):
+        # An empty worker list is a legitimate single-process run, not
+        # an alignment failure.
+        path, doc = _committed_bench("datagen")
+        empty = copy.deepcopy(doc)
+        empty["workers"] = []
+        empty_path = self._write(tmp_path, "empty.json", empty)
+        assert main([path, empty_path]) == 0
+        assert "OK" in capsys.readouterr().out

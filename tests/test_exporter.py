@@ -1,5 +1,6 @@
 """Prometheus exposition: rendering stability and the live endpoint."""
 
+import re
 from urllib.error import HTTPError
 from urllib.request import urlopen
 
@@ -8,6 +9,29 @@ import pytest
 import repro.obs as obs
 from repro.obs import MetricsRegistry, MetricsServer, render_prometheus
 from repro.obs.exporter import CONTENT_TYPE, _metric_name
+
+#: Text-exposition grammar (version 0.0.4): a metric name, an optional
+#: label set whose values escape ``\``, ``"`` and newline, and a value.
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL_VALUE = r'(?:[^"\\\n]|\\\\|\\"|\\n)*'
+_LABELS = rf'\{{{_NAME}="{_LABEL_VALUE}"(?:,{_NAME}="{_LABEL_VALUE}")*\}}'
+_VALUE = r"(?:[+-]?(?:\d+\.?\d*(?:e[+-]?\d+)?|Inf)|NaN)"
+_SAMPLE_LINE = re.compile(rf"^{_NAME}(?:{_LABELS})? {_VALUE}$")
+_TYPE_LINE = re.compile(
+    rf"^# TYPE {_NAME} (?:counter|gauge|histogram|summary|untyped)$"
+)
+
+
+def assert_valid_exposition(text):
+    """Every line of ``text`` must match the text-format grammar."""
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        if line.startswith("# TYPE"):
+            assert _TYPE_LINE.match(line), f"bad TYPE line: {line!r}"
+        elif line.startswith("#"):
+            continue  # HELP/comment lines — free-form
+        else:
+            assert _SAMPLE_LINE.match(line), f"bad sample line: {line!r}"
 
 
 def _worked_registry():
@@ -104,6 +128,40 @@ class TestRenderPrometheus:
         reg.counter('c[we"ird]').inc()
         text = render_prometheus(reg)
         assert 'repro_c_total{shard="we\\"ird"} 1' in text.splitlines()
+
+    def test_newline_in_shard_label_escaped(self):
+        # A raw newline inside a label value would terminate the sample
+        # line mid-way and corrupt the exposition.
+        reg = MetricsRegistry()
+        reg.counter("c[line\nbreak]").inc()
+        text = render_prometheus(reg)
+        assert 'repro_c_total{shard="line\\nbreak"} 1' in text.splitlines()
+
+    def test_fully_invalid_metric_name_still_renders(self):
+        assert _metric_name("", "") == "_"  # empty-name guard
+        assert _metric_name("", "...") == "___"
+        reg = MetricsRegistry()
+        reg.counter("...").inc()
+        assert_valid_exposition(render_prometheus(reg, namespace=""))
+
+    def test_nasty_names_produce_valid_exposition(self):
+        """End-to-end grammar check over hostile shard ids and names."""
+        reg = MetricsRegistry()
+        for shard in (
+            "shard-a.b",
+            'we"ird',
+            "back\\slash",
+            "line\nbreak",
+            "dots.and-dashes",
+        ):
+            reg.counter(f"monitor.batch_cycles[{shard}]").inc()
+            reg.timer(f"monitor.run_batch[{shard}]").record(1e-3)
+        reg.counter("9starts.with-digit").inc()
+        reg.gauge("weird-gauge.v2[a.b-c]").set(0.5)
+        assert_valid_exposition(render_prometheus(reg))
+
+    def test_worked_registry_exposition_is_grammatical(self):
+        assert_valid_exposition(render_prometheus(_worked_registry()))
 
 
 class TestMetricsServer:

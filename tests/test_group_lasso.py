@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core.group_lasso import (
     GroupLassoResult,
+    StrongRuleScreener,
     SufficientStats,
     WarmState,
     group_lasso_constrained,
@@ -268,6 +269,79 @@ class TestResultObject:
         assert result.active_groups(1e-3).tolist() == [1]
         with pytest.raises(ValueError):
             result.active_groups(-1.0)
+
+
+class TestPathStart:
+    """``mu_max`` must be the exact path head: ``B(mu_max) == 0``.
+
+    The λ-path walk, the constrained solver's zero fallback, and step 0
+    of the sequential strong rule all anchor on
+    :attr:`SufficientStats.mu_max` being the max per-group activation
+    threshold ``||A_g||`` — a too-small value would make the first grid
+    penalty select phantom groups and the strong rule unsound at the
+    path start.
+    """
+
+    @pytest.mark.parametrize("method", ["fista", "bcd"])
+    def test_all_zero_at_mu_max(self, method):
+        Z, G, _ = sparse_problem()
+        stats = SufficientStats.from_arrays(Z, G)
+        result = group_lasso_penalized(Z, G, mu=stats.mu_max, method=method)
+        assert np.all(result.coef == 0.0)
+
+    @pytest.mark.parametrize("method", ["fista", "bcd"])
+    def test_all_zero_at_mu_max_degenerate_columns(self, method):
+        # Constant (zero after centering) and duplicated columns: the
+        # per-group thresholds tie, the worst case for the max.
+        rng = np.random.default_rng(3)
+        Z = rng.standard_normal((100, 8))
+        Z[:, 2] = 0.0          # dead candidate
+        Z[:, 5] = Z[:, 1]      # exact duplicate: tied ||A_g||
+        G = rng.standard_normal((100, 3))
+        stats = SufficientStats.from_arrays(Z, G)
+        result = group_lasso_penalized(
+            Z, G, mu=stats.mu_max, method=method
+        )
+        assert np.all(result.coef == 0.0)
+
+    def test_mu_max_is_max_group_threshold(self):
+        # mu_max must dominate every group's activation threshold *as
+        # the solver measures it* — the per-row 1-D norm, whose
+        # summation order can land an ulp above the axis-reduced value.
+        Z, G, _ = sparse_problem()
+        stats = SufficientStats.from_arrays(Z, G)
+        A = Z.T @ G
+        row_norms = [float(np.linalg.norm(A[m])) for m in range(A.shape[0])]
+        assert stats.mu_max == max(row_norms)
+        assert stats.mu_max >= float(np.max(np.linalg.norm(A, axis=1)))
+        # Lazy statistics share the exact same anchor.
+        lazy = SufficientStats.from_arrays(Z, G, lazy=True)
+        assert lazy.mu_max == stats.mu_max
+
+    def test_just_below_mu_max_activates(self):
+        # mu_max is tight, not merely an upper bound: nudging the
+        # penalty below it activates the argmax group.
+        Z, G, _ = sparse_problem()
+        stats = SufficientStats.from_arrays(Z, G)
+        result = group_lasso_penalized(Z, G, mu=stats.mu_max * (1 - 1e-3))
+        assert result.active_groups().size >= 1
+
+    def test_step_zero_screening_discards_no_active_group(self):
+        # A fresh screener's reference state IS the exact solution at
+        # mu_max (B == 0, residuals = rows of A), so the first screened
+        # solve of a descending path must keep every group that the
+        # unscreened solve activates — with zero KKT re-admissions.
+        Z, G, _ = sparse_problem()
+        stats = SufficientStats.from_arrays(Z, G, lazy=True)
+        scr = StrongRuleScreener(stats)
+        assert scr.mu_ref == stats.mu_max
+        mu0 = stats.mu_max * 0.65  # the path engine's first grid point
+        screened = group_lasso_penalized(None, None, mu0, screen=scr)
+        plain = group_lasso_penalized(Z, G, mu0)
+        np.testing.assert_array_equal(
+            plain.active_groups(), screened.active_groups()
+        )
+        assert scr.n_violations == 0
 
 
 class TestSolverProperties:
