@@ -40,14 +40,27 @@ nonzero if the batch path is below the 5x throughput target at
 
     python benchmarks/run_bench.py --monitor --out BENCH_monitor.json
 
-CI runs three smoke modes::
+**Tournament mode** (``--tournament``) races every registered sensor
+placer (:mod:`repro.baselines`) across the scenario grid — nominal
+benchmarks, varied-grid instances, and sensor-fault trials — via
+:func:`repro.experiments.tournament.run_tournament`, and writes the
+``repro.bench/v1`` leaderboard plus a markdown rendering.  The
+committed ``results/leaderboard.json`` / ``results/leaderboard.md``
+were produced by::
+
+    python benchmarks/run_bench.py --tournament \
+        --out results/leaderboard.json --markdown results/leaderboard.md
+
+CI runs four smoke modes::
 
     python benchmarks/run_bench.py --quick --check-convergence
     python benchmarks/run_bench.py --datagen --quick
     python benchmarks/run_bench.py --monitor --quick
+    python benchmarks/run_bench.py --tournament --quick
 
-the latter two exit nonzero on an optimized-vs-reference mismatch or
-(respectively) a monitor identity/failover/throughput failure.
+the latter three exit nonzero on an optimized-vs-reference mismatch, a
+monitor identity/failover/throughput failure, or a placer that failed
+to produce a placement.
 
 Profile selection for sweep mode follows the benchmark harness:
 ``REPRO_PROFILE=paper`` runs at full paper scale, the default ``fast``
@@ -131,6 +144,28 @@ DATAGEN_QUICK_SETUP = ExperimentSetup(
         record_every=2, n_samples=2000, seed=7151,
     ),
     name="datagen-quick",
+)
+
+
+#: CI smoke variant of the tournament: a tiny two-core chip and short
+#: workloads so the whole race (all placers x scenarios) runs in
+#: seconds while still exercising every placer end to end.
+TOURNAMENT_QUICK_SETUP = ExperimentSetup(
+    chip=ChipConfig(
+        core_cols=2, core_rows=1, template="small",
+        grid_pitch=0.2, pad_pitch=1.5,
+    ),
+    train=DataConfig(
+        benchmarks=("x264", "canneal"),
+        steps_per_benchmark=160, warmup_steps=30,
+        n_samples=300, seed=21,
+    ),
+    eval=DataConfig(
+        benchmarks=("x264", "canneal"),
+        steps_per_benchmark=120, warmup_steps=30,
+        n_samples=220, seed=22,
+    ),
+    name="tournament-quick",
 )
 
 
@@ -803,6 +838,45 @@ def run_screen(quick: bool = False) -> Dict:
     }
 
 
+def run_tournament_bench(quick: bool = False):
+    """Race every registered placer and return (result, report doc).
+
+    Full mode runs the ``fast`` experiment profile with the default
+    scenario grid (3 variation instances, dropout + stuck faults);
+    quick mode shrinks the chip/workloads and the grid for CI smoke.
+    A placer that raises lands in the report's ``problems`` list (and
+    the CLI exits nonzero) instead of aborting the race.
+    """
+    from repro.experiments.tournament import TournamentConfig, run_tournament
+
+    setup = TOURNAMENT_QUICK_SETUP if quick else FAST_SETUP
+    config = (
+        TournamentConfig(n_variation=2, variation_steps=120)
+        if quick
+        else TournamentConfig()
+    )
+
+    t0 = time.perf_counter()
+    data = generate_dataset(setup)
+    datagen_s = time.perf_counter() - t0
+
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        t0 = time.perf_counter()
+        result = run_tournament(data, config)
+        tournament_s = time.perf_counter() - t0
+        counters = {
+            name: value
+            for name, value in registry.snapshot()["counters"].items()
+            if name.startswith("placer.")
+        }
+
+    report = result.leaderboard()
+    report["datagen_s"] = datagen_s
+    report["tournament_s"] = tournament_s
+    report["counters"] = counters
+    return result, report
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Benchmark the λ-path engine against the sequential "
@@ -853,13 +927,52 @@ def main(argv: Optional[List[str]] = None) -> int:
         "and wall-clock vs the dense path, set fidelity, and an exact "
         "KKT audit; exits nonzero on a mismatch or missed target",
     )
+    parser.add_argument(
+        "--tournament",
+        action="store_true",
+        help="race every registered sensor placer across benchmarks, "
+        "variation instances and fault scenarios; exits nonzero if any "
+        "placer fails",
+    )
+    parser.add_argument(
+        "--markdown",
+        default=None,
+        metavar="leaderboard.md",
+        help="with --tournament: also write the markdown leaderboard "
+        "to this path",
+    )
     args = parser.parse_args(argv)
     if args.n_jobs < 1:
         parser.error("--n-jobs must be >= 1")
-    if sum((args.datagen, args.monitor, args.screen)) > 1:
+    if sum((args.datagen, args.monitor, args.screen, args.tournament)) > 1:
         parser.error(
-            "--datagen, --monitor and --screen are mutually exclusive"
+            "--datagen, --monitor, --screen and --tournament are "
+            "mutually exclusive"
         )
+    if args.markdown and not args.tournament:
+        parser.error("--markdown requires --tournament")
+
+    if args.tournament:
+        from repro.experiments.tournament import render_leaderboard_markdown
+
+        result, report = run_tournament_bench(quick=args.quick)
+        print(result.render())
+        print(
+            f"datagen: {report['datagen_s']:.2f}s  "
+            f"tournament: {report['tournament_s']:.2f}s"
+        )
+        if args.out:
+            _write_report(report, args.out)
+        if args.markdown:
+            with open(args.markdown, "w", encoding="utf-8") as fh:
+                fh.write(render_leaderboard_markdown(result))
+            print(f"markdown leaderboard written to {args.markdown}")
+        if report["problems"]:
+            print(f"{len(report['problems'])} problem(s):")
+            for problem in report["problems"]:
+                print(f"  {problem}")
+            return 1
+        return 0
 
     if args.screen:
         report = run_screen(quick=args.quick)

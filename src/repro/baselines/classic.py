@@ -1,0 +1,134 @@
+"""The six legacy baselines re-homed as :class:`Placer` implementations.
+
+Each class wraps the corresponding module's ranking kernel; the shared
+base handles scope iteration, budgets, spacing, and tie-break policy.
+Selections are identical to the legacy ``fit_*`` functions (pinned by
+``tests/test_placers.py``): the wrappers call the exact same kernels
+on the exact same per-scope slices, and the random placer threads one
+generator through the scopes in the same order as ``fit_random``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.correlation_greedy import greedy_correlation_order
+from repro.baselines.eagle_eye import greedy_coverage_order
+from repro.baselines.ols_magnitude import ols_magnitude_ranking
+from repro.baselines.placer import Placer, ScopeContext, register_placer
+from repro.baselines.plain_lasso import lasso_magnitude_ranking
+from repro.baselines.random_placement import random_selection
+from repro.baselines.worst_noise import worst_noise_ranking
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = [
+    "WorstNoisePlacer",
+    "RandomPlacer",
+    "OLSMagnitudePlacer",
+    "CorrelationGreedyPlacer",
+    "EagleEyePlacer",
+    "PlainLassoPlacer",
+]
+
+
+@register_placer
+class WorstNoisePlacer(Placer):
+    """Sensors on the candidates with the deepest training droops."""
+
+    name = "worst_noise"
+
+    def _rank_scope(self, X, F, budget, n_rank, rng, ctx):
+        return worst_noise_ranking(X)[:n_rank]
+
+
+@register_placer
+class RandomPlacer(Placer):
+    """Uniform random placement — the null baseline.
+
+    Matches ``fit_random``'s stream exactly in the no-spacing case
+    (same :func:`random_selection` draws, one generator threaded
+    through the scopes); under spacing it draws a full random
+    permutation per scope so rejected candidates refill randomly.
+    """
+
+    name = "random"
+    uses_rng = True
+
+    def _rank_scope(self, X, F, budget, n_rank, rng, ctx):
+        pool = X.shape[1]
+        if ctx.spacing_active:
+            return rng.permutation(pool).astype(np.int64)
+        return random_selection(pool, budget, rng)
+
+
+@register_placer
+class OLSMagnitudePlacer(Placer):
+    """Top candidates by unconstrained-OLS coefficient magnitude."""
+
+    name = "ols_magnitude"
+
+    def _rank_scope(self, X, F, budget, n_rank, rng, ctx):
+        return ols_magnitude_ranking(X, F)[:n_rank]
+
+
+@register_placer
+class CorrelationGreedyPlacer(Placer):
+    """Multi-response group-OMP (greedy residual correlation)."""
+
+    name = "correlation"
+
+    def _rank_scope(self, X, F, budget, n_rank, rng, ctx):
+        return greedy_correlation_order(X, F, min(n_rank, X.shape[1]))
+
+
+@register_placer
+class EagleEyePlacer(Placer):
+    """Eagle-Eye greedy max-coverage placement (the paper's comparator).
+
+    Needs an emergency threshold: either pass one to the constructor
+    or set ``emergency_threshold`` on the constraints (the tournament
+    uses the chip's configured threshold).
+    """
+
+    name = "eagle_eye"
+
+    def __init__(self, threshold: Optional[float] = None) -> None:
+        if threshold is not None:
+            check_positive(threshold, "threshold")
+        self.threshold = threshold
+
+    def _rank_scope(self, X, F, budget, n_rank, rng, ctx):
+        threshold = self.threshold
+        if threshold is None:
+            threshold = ctx.constraints.emergency_threshold
+        if threshold is None:
+            raise ValueError(
+                "eagle_eye needs an emergency threshold: construct with "
+                "EagleEyePlacer(threshold=...) or set "
+                "PlacementConstraints(emergency_threshold=...)"
+            )
+        emergency = np.any(F < threshold, axis=1)
+        return greedy_coverage_order(
+            X, emergency, min(n_rank, X.shape[1]), threshold
+        )
+
+
+@register_placer
+class PlainLassoPlacer(Placer):
+    """Element-wise (ungrouped) lasso — the grouping ablation.
+
+    Ranks candidates by their largest surviving coefficient at ``mu``;
+    the top-budget prefix reproduces ``lasso_select_sensors`` whenever
+    that selection has exactly ``budget`` survivors.
+    """
+
+    name = "plain_lasso"
+
+    def __init__(self, mu: float = 1e-3) -> None:
+        check_non_negative(mu, "mu")
+        self.mu = mu
+
+    def _rank_scope(self, X, F, budget, n_rank, rng, ctx):
+        return lasso_magnitude_ranking(X, F, self.mu)[:n_rank]

@@ -19,17 +19,24 @@ from repro.core.normalization import Standardizer
 from repro.voltage.dataset import VoltageDataset
 from repro.utils.validation import check_integer, check_matrix
 
-__all__ = ["greedy_correlation_selection", "fit_correlation_greedy"]
+__all__ = [
+    "greedy_correlation_order",
+    "greedy_correlation_selection",
+    "fit_correlation_greedy",
+]
 
 
-def greedy_correlation_selection(
+def greedy_correlation_order(
     X: np.ndarray, F: np.ndarray, n_sensors: int
 ) -> np.ndarray:
-    """Multi-response group-OMP over candidate columns.
+    """Group-OMP pick order (unsorted; the greedy prefix is nested).
 
     At each step the candidate with the largest residual correlation
     energy ``||R^T z_m||_2 / ||z_m||_2`` is added, and the residual R is
     re-orthogonalized against the selected set by an exact OLS refit.
+    Score ties go to the lower candidate index (first argmax).  The
+    order is nested: its first q entries are the greedy solution for
+    budget q.
 
     Parameters
     ----------
@@ -38,12 +45,12 @@ def greedy_correlation_selection(
     F:
         ``(N, K)`` raw critical-node voltages.
     n_sensors:
-        Number of sensors to pick (Q).
+        Number of picks to rank (Q).
 
     Returns
     -------
     np.ndarray
-        Selected column indices, sorted.
+        ``(Q,)`` candidate indices in pick order, best first.
     """
     X = check_matrix(X, "X")
     F = check_matrix(F, "F", n_rows=X.shape[0])
@@ -69,7 +76,31 @@ def greedy_correlation_selection(
         Zs = Z[:, selected]
         coef, *_ = np.linalg.lstsq(Zs, G, rcond=None)
         residual = G - Zs @ coef
-    return np.sort(np.asarray(selected, dtype=np.int64))
+    return np.asarray(selected, dtype=np.int64)
+
+
+def greedy_correlation_selection(
+    X: np.ndarray, F: np.ndarray, n_sensors: int
+) -> np.ndarray:
+    """Multi-response group-OMP over candidate columns.
+
+    The sorted form of :func:`greedy_correlation_order`.
+
+    Parameters
+    ----------
+    X:
+        ``(N, M)`` raw candidate voltages.
+    F:
+        ``(N, K)`` raw critical-node voltages.
+    n_sensors:
+        Number of sensors to pick (Q).
+
+    Returns
+    -------
+    np.ndarray
+        Selected column indices, sorted.
+    """
+    return np.sort(greedy_correlation_order(X, F, n_sensors))
 
 
 def fit_correlation_greedy(

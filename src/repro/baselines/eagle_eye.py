@@ -28,7 +28,12 @@ import numpy as np
 from repro.voltage.dataset import VoltageDataset
 from repro.utils.validation import check_integer, check_positive
 
-__all__ = ["EagleEyeModel", "fit_eagle_eye", "greedy_coverage_selection"]
+__all__ = [
+    "EagleEyeModel",
+    "fit_eagle_eye",
+    "greedy_coverage_order",
+    "greedy_coverage_selection",
+]
 
 
 @dataclass
@@ -118,13 +123,22 @@ class EagleEyeModel:
         return alarms[:, nearest]
 
 
-def greedy_coverage_selection(
+def greedy_coverage_order(
     X: np.ndarray,
     emergency: np.ndarray,
     n_sensors: int,
     threshold: float,
 ) -> np.ndarray:
-    """Greedy max-coverage core of the Eagle-Eye placement.
+    """Eagle-Eye greedy max-coverage pick order (unsorted, nested).
+
+    Each step adds the candidate whose own-voltage alarms cover the
+    most not-yet-covered emergency samples.  Gain ties prefer the
+    worst-noise candidate; remaining ties (equal gain *and* equal
+    training minimum) go to the lower candidate index.  When no
+    candidate adds coverage, the order continues with the worst-noise
+    ranking of the unpicked candidates (Eagle-Eye's noise-seeking
+    preference), so the first q entries are always the budget-q greedy
+    solution.
 
     Parameters
     ----------
@@ -133,17 +147,14 @@ def greedy_coverage_selection(
     emergency:
         ``(N,)`` ground-truth "FA emergency exists" flags.
     n_sensors:
-        Sensors to select (Q).
+        Number of picks to rank (Q).
     threshold:
         Alarm threshold in volts.
 
     Returns
     -------
     np.ndarray
-        Selected column indices, sorted.  When fewer than ``n_sensors``
-        candidates add any coverage, the remainder is filled with the
-        worst-noise unselected candidates (Eagle-Eye's noise-seeking
-        preference).
+        ``(Q,)`` candidate indices in pick order, best first.
     """
     X = np.asarray(X, dtype=float)
     check_integer(n_sensors, "n_sensors", minimum=1)
@@ -172,21 +183,54 @@ def greedy_coverage_selection(
         if best_gain <= 0:
             # No candidate covers any remaining emergency: fall back to
             # worst-noise ordering among the available candidates.
-            order = np.argsort(worst_noise)
+            order = np.argsort(worst_noise, kind="stable")
             fill = [int(m) for m in order if available[m]]
             needed = n_sensors - len(selected)
             for m in fill[:needed]:
                 selected.append(m)
                 available[m] = False
             break
-        # Among max-gain candidates prefer the worst-noise one.
+        # Among max-gain candidates prefer the worst-noise one (argmin
+        # returns the first minimum, so double ties go to the lower
+        # index).
         tied = np.nonzero(gains == best_gain)[0]
         choice = int(tied[np.argmin(worst_noise[tied])])
         selected.append(choice)
         available[choice] = False
         uncovered &= ~detects[:, choice]
 
-    return np.sort(np.asarray(selected, dtype=np.int64))
+    return np.asarray(selected, dtype=np.int64)
+
+
+def greedy_coverage_selection(
+    X: np.ndarray,
+    emergency: np.ndarray,
+    n_sensors: int,
+    threshold: float,
+) -> np.ndarray:
+    """Greedy max-coverage core of the Eagle-Eye placement.
+
+    The sorted form of :func:`greedy_coverage_order`.
+
+    Parameters
+    ----------
+    X:
+        ``(N, M)`` candidate voltages.
+    emergency:
+        ``(N,)`` ground-truth "FA emergency exists" flags.
+    n_sensors:
+        Sensors to select (Q).
+    threshold:
+        Alarm threshold in volts.
+
+    Returns
+    -------
+    np.ndarray
+        Selected column indices, sorted.  When fewer than ``n_sensors``
+        candidates add any coverage, the remainder is filled with the
+        worst-noise unselected candidates.
+    """
+    return np.sort(greedy_coverage_order(X, emergency, n_sensors, threshold))
 
 
 def fit_eagle_eye(

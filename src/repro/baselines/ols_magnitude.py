@@ -23,7 +23,41 @@ from repro.core.normalization import Standardizer
 from repro.voltage.dataset import VoltageDataset
 from repro.utils.validation import check_integer, check_matrix
 
-__all__ = ["ols_magnitude_selection", "fit_ols_magnitude"]
+__all__ = [
+    "ols_magnitude_ranking",
+    "ols_magnitude_selection",
+    "fit_ols_magnitude",
+]
+
+
+def ols_magnitude_ranking(X: np.ndarray, F: np.ndarray) -> np.ndarray:
+    """All candidates ranked by descending OLS coefficient magnitude.
+
+    Equal magnitudes are broken toward the lower candidate index
+    (stable sort on the negated key).  The pre-protocol implementation
+    reversed an ascending argsort, so ties went to the *highest* index
+    — one of the tie-break inconsistencies the :class:`Placer` refactor
+    unified (see :mod:`repro.baselines.placer`).
+
+    Parameters
+    ----------
+    X:
+        ``(N, M)`` raw candidate voltages.
+    F:
+        ``(N, K)`` raw critical-node voltages.
+
+    Returns
+    -------
+    np.ndarray
+        ``(M,)`` candidate indices, largest ``||alpha_m||_2`` first.
+    """
+    X = check_matrix(X, "X")
+    F = check_matrix(F, "F", n_rows=X.shape[0])
+    z = Standardizer().fit_transform(X)
+    g = Standardizer().fit_transform(F)
+    coef, *_ = np.linalg.lstsq(z, g, rcond=None)  # (M, K)
+    magnitudes = np.linalg.norm(coef, axis=1)
+    return np.argsort(-magnitudes, kind="stable").astype(np.int64)
 
 
 def ols_magnitude_selection(
@@ -53,12 +87,7 @@ def ols_magnitude_selection(
         raise ValueError(
             f"cannot select {n_sensors} sensors from {X.shape[1]} candidates"
         )
-    z = Standardizer().fit_transform(X)
-    g = Standardizer().fit_transform(F)
-    coef, *_ = np.linalg.lstsq(z, g, rcond=None)  # (M, K)
-    magnitudes = np.linalg.norm(coef, axis=1)
-    order = np.argsort(magnitudes)[::-1]
-    return np.sort(order[:n_sensors].astype(np.int64))
+    return np.sort(ols_magnitude_ranking(X, F)[:n_sensors])
 
 
 def fit_ols_magnitude(

@@ -20,7 +20,12 @@ from repro.core.group_lasso import SufficientStats  # shared sufficient statisti
 from repro.core.normalization import Standardizer
 from repro.utils.validation import check_matrix, check_non_negative, check_positive
 
-__all__ = ["PlainLassoResult", "lasso_penalized", "lasso_select_sensors"]
+__all__ = [
+    "PlainLassoResult",
+    "lasso_magnitude_ranking",
+    "lasso_penalized",
+    "lasso_select_sensors",
+]
 
 
 @dataclass
@@ -156,3 +161,36 @@ def lasso_select_sensors(
     g = Standardizer().fit_transform(F)
     result = lasso_penalized(z, g, mu)
     return result.sensors_used(threshold)
+
+
+def lasso_magnitude_ranking(
+    X: np.ndarray, F: np.ndarray, mu: float
+) -> np.ndarray:
+    """All candidates ranked by descending surviving-coefficient magnitude.
+
+    Solves the element-wise lasso at ``mu`` and orders columns by their
+    largest absolute coefficient (stable sort: magnitude ties go to the
+    lower candidate index).  The top-q prefix equals
+    :func:`lasso_select_sensors` whenever that selection has exactly q
+    survivors, because survivors have magnitude above the selection
+    threshold and everything else sits at or below it.
+
+    Parameters
+    ----------
+    X, F:
+        Raw data matrices (normalized internally).
+    mu:
+        L1 penalty weight.
+
+    Returns
+    -------
+    np.ndarray
+        ``(M,)`` candidate indices, largest surviving magnitude first.
+    """
+    X = check_matrix(X, "X")
+    F = check_matrix(F, "F", n_rows=X.shape[0])
+    z = Standardizer().fit_transform(X)
+    g = Standardizer().fit_transform(F)
+    result = lasso_penalized(z, g, mu)
+    magnitudes = np.abs(result.coef).max(axis=0)
+    return np.argsort(-magnitudes, kind="stable").astype(np.int64)

@@ -15,7 +15,31 @@ import numpy as np
 from repro.voltage.dataset import VoltageDataset
 from repro.utils.validation import check_integer
 
-__all__ = ["worst_noise_selection", "fit_worst_noise"]
+__all__ = ["worst_noise_ranking", "worst_noise_selection", "fit_worst_noise"]
+
+
+def worst_noise_ranking(X: np.ndarray) -> np.ndarray:
+    """All candidates ranked by ascending training minimum (noisiest first).
+
+    Equal minima are broken toward the lower candidate index (stable
+    sort) — the library-wide tie-break policy
+    (:mod:`repro.baselines.placer`).
+
+    Parameters
+    ----------
+    X:
+        ``(N, M)`` candidate voltages.
+
+    Returns
+    -------
+    np.ndarray
+        ``(M,)`` candidate indices, deepest droop first.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError("X must be (N, M)")
+    worst = X.min(axis=0)
+    return np.argsort(worst, kind="stable").astype(np.int64)
 
 
 def worst_noise_selection(X: np.ndarray, n_sensors: int) -> np.ndarray:
@@ -41,8 +65,7 @@ def worst_noise_selection(X: np.ndarray, n_sensors: int) -> np.ndarray:
         raise ValueError(
             f"cannot select {n_sensors} sensors from {X.shape[1]} candidates"
         )
-    worst = X.min(axis=0)
-    return np.sort(np.argsort(worst)[:n_sensors].astype(np.int64))
+    return np.sort(worst_noise_ranking(X)[:n_sensors])
 
 
 def fit_worst_noise(

@@ -29,7 +29,13 @@ from repro.core.selection import DEFAULT_THRESHOLD, SelectionResult, select_sens
 from repro.voltage.dataset import VoltageDataset
 from repro.utils.validation import check_integer, check_positive
 
-__all__ = ["PipelineConfig", "ScopeModel", "PlacementModel", "fit_placement"]
+__all__ = [
+    "PipelineConfig",
+    "ScopeModel",
+    "PlacementModel",
+    "fit_placement",
+    "placement_model_from_cols",
+]
 
 
 @dataclass(frozen=True)
@@ -376,6 +382,101 @@ def fit_placement(dataset: VoltageDataset, config: PipelineConfig) -> PlacementM
                 _fit_scope(dataset, *spec, config) for spec in scope_specs
             ]
         sp.set_attribute("n_sensors", sum(s.n_sensors for s in scopes))
+    return PlacementModel(scopes=scopes, config=config, n_blocks=dataset.n_blocks)
+
+
+def placement_model_from_cols(
+    dataset: VoltageDataset,
+    selected_cols: np.ndarray,
+    per_core: bool = True,
+    config: Optional[PipelineConfig] = None,
+) -> PlacementModel:
+    """Fit the OLS readout for an externally chosen sensor set.
+
+    The bridge between alternative placement algorithms
+    (:mod:`repro.baselines.placer`) and everything downstream of a
+    group-lasso fit: the returned :class:`PlacementModel` has real
+    per-scope :class:`~repro.core.predictor.VoltagePredictor` models
+    (with cached OLS refit statistics, so leave-one-sensor-out
+    :meth:`~PlacementModel.fallback_models` work) and serves through
+    :class:`~repro.monitor.fleet.FleetMonitor` unchanged.  Each scope's
+    ``selection`` carries a 0/1 membership indicator as its group
+    norms and no group-lasso solution (``gl_result=None``).
+
+    Parameters
+    ----------
+    dataset:
+        Training data (X, F) with per-core provenance.
+    selected_cols:
+        Candidate columns (dataset X indexing) of the placed sensors.
+        Duplicates are collapsed.
+    per_core:
+        Scope layout to fit: per-core scopes (each must own at least
+        one selected sensor) or one global scope.
+    config:
+        Optional config to stamp on the model (defaults to a
+        bookkeeping config whose ``budget`` is the sensor count).
+
+    Raises
+    ------
+    ValueError
+        If ``selected_cols`` is empty or out of range, a per-core
+        scope has no selected sensor (its blocks would be
+        unpredictable), or a column belongs to no scope.
+    """
+    cols = np.unique(np.asarray(selected_cols, dtype=np.int64))
+    if cols.size == 0:
+        raise ValueError("selected_cols must name at least one sensor")
+    if cols.min() < 0 or cols.max() >= dataset.n_candidates:
+        raise ValueError(
+            f"selected_cols out of range: dataset has "
+            f"{dataset.n_candidates} candidates"
+        )
+    if config is None:
+        config = PipelineConfig(budget=float(cols.size), per_core=per_core)
+    scope_specs = _scope_specs(dataset, config)
+
+    claimed = np.zeros(dataset.n_candidates, dtype=bool)
+    scopes: List[ScopeModel] = []
+    for core_index, candidate_cols, block_cols in scope_specs:
+        local = np.nonzero(np.isin(candidate_cols, cols))[0]
+        if local.size == 0:
+            raise ValueError(
+                f"scope {core_index} has {block_cols.size} blocks but no "
+                "selected sensor among its candidates"
+            )
+        claimed[candidate_cols[local]] = True
+        norms = np.zeros(candidate_cols.size)
+        norms[local] = 1.0
+        selection = SelectionResult(
+            selected=local,
+            group_norms=norms,
+            budget=float(local.size),
+            threshold=config.threshold,
+            gl_result=None,
+        )
+        predictor = VoltagePredictor.fit(
+            dataset.X[:, candidate_cols],
+            dataset.F[:, block_cols],
+            selected=local,
+            sensor_nodes=dataset.candidate_nodes[candidate_cols[local]],
+        )
+        scopes.append(
+            ScopeModel(
+                core_index=core_index,
+                candidate_cols=candidate_cols,
+                block_cols=block_cols,
+                selection=selection,
+                predictor=predictor,
+            )
+        )
+    orphans = cols[~claimed[cols]]
+    if orphans.size:
+        raise ValueError(
+            f"selected columns {orphans.tolist()} belong to no fitting "
+            "scope (core without blocks, or unassigned candidates); "
+            "use per_core=False to fit them globally"
+        )
     return PlacementModel(scopes=scopes, config=config, n_blocks=dataset.n_blocks)
 
 

@@ -58,14 +58,18 @@ class SelectionResult:
     gl_result:
         The underlying group-lasso solution (coefficients are *biased*
         by the constraint — use them for selection only, never for
-        prediction; see paper Section 2.3).
+        prediction; see paper Section 2.3).  ``None`` for selections
+        that did not come from a group-lasso solve (placements imported
+        through
+        :func:`~repro.core.pipeline.placement_model_from_cols`), in
+        which case ``group_norms`` is a 0/1 membership indicator.
     """
 
     selected: np.ndarray
     group_norms: np.ndarray
     budget: float
     threshold: float
-    gl_result: GroupLassoResult
+    gl_result: Optional[GroupLassoResult]
 
     @property
     def n_selected(self) -> int:
@@ -74,6 +78,10 @@ class SelectionResult:
 
     def warm_state(self) -> WarmState:
         """Warm-start seed for a constrained solve at a nearby budget."""
+        if self.gl_result is None:
+            raise RuntimeError(
+                "selection has no group-lasso solution to warm-start from"
+            )
         return WarmState(
             coef=self.gl_result.coef, penalty=self.gl_result.penalty
         )

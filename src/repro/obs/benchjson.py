@@ -1,7 +1,7 @@
 """Shared schema for the ``BENCH_*.json`` benchmark reports.
 
 The ``benchmarks/run_bench.py`` modes (λ sweep, datagen, monitor,
-screen) historically drifted in field names — the sweep report did
+screen, placement tournament) historically drifted in field names — the sweep report did
 not even carry a ``mode`` stamp.  This module pins the contract down:
 
 * :data:`BENCH_SCHEMA` — the schema tag ``run_bench.py`` stamps into
@@ -33,7 +33,7 @@ __all__ = [
 BENCH_SCHEMA = "repro.bench/v1"
 
 #: The benchmark modes ``run_bench.py`` produces.
-MODES = ("sweep", "datagen", "monitor", "screen")
+MODES = ("sweep", "datagen", "monitor", "screen", "tournament")
 
 #: Fields every report of a mode must carry to be considered valid.
 _REQUIRED_FIELDS = {
@@ -46,6 +46,7 @@ _REQUIRED_FIELDS = {
         "loop_s", "batch_s", "speedup", "identity", "failover", "problems",
     ),
     "screen": ("compare", "large", "counters", "problems"),
+    "tournament": ("budget", "placers", "scenarios", "entries", "problems"),
 }
 
 
@@ -155,6 +156,24 @@ def normalize_bench(doc: Dict[str, Any]) -> Dict[str, Any]:
         equality = doc.get("equality", {})
         if isinstance(equality, dict):
             _scalar(scalars, equality, "max_ulp32")
+        scalars["problems"] = float(len(doc.get("problems", [])))
+    elif mode == "tournament":
+        counters.update(doc.get("counters", {}))
+        for entry in doc.get("entries", []):
+            placer = entry.get("placer")
+            tag = f"[placer={placer}]" if placer else ""
+            for field in (
+                "overall_error", "worst_degraded_error",
+                "detected_fraction", "place_s",
+            ):
+                value = entry.get(field)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    scalars[f"{field}{tag}"] = float(value)
+            nominal = entry.get("nominal")
+            if isinstance(nominal, dict):
+                value = nominal.get("relative_error")
+                if isinstance(value, (int, float)):
+                    scalars[f"nominal_error{tag}"] = float(value)
         scalars["problems"] = float(len(doc.get("problems", [])))
     elif mode == "screen":
         counters.update(doc.get("counters", {}))

@@ -1,16 +1,22 @@
 #!/usr/bin/env python
-"""Regenerate the golden regression fixture for the serving pipeline.
+"""Regenerate the golden regression fixtures.
 
-Builds one fully deterministic scenario — synthetic dataset, fitted
-placement, a monitored stream with real alarm episodes, and a
-fault-injection run with failovers — and records its observable outputs
-to ``golden_monitor.json``.  The regression test
-(``tests/test_golden.py``) replays the same scenario through
-:func:`build_golden` and compares against the stored fixture under the
-tolerance policy in ``tests/golden/README.md``.
+Two fixtures, both fully deterministic:
 
-Regenerate (only after an intentional behaviour change; review the
-diff)::
+* ``golden_monitor.json`` — synthetic dataset, fitted placement, a
+  monitored stream with real alarm episodes, and a fault-injection run
+  with failovers (:func:`build_golden`; replayed by
+  ``tests/test_golden.py``).
+* ``golden_leaderboard.json`` — the placement tournament on the tiny
+  experiment profile: every registered placer raced across benchmarks,
+  variation instances and fault scenarios
+  (:func:`build_tournament_golden`; replayed by
+  ``tests/test_tournament.py``).  Wall-clock fields (``place_s``) are
+  recorded but exempt from comparison.
+
+Comparison happens under the tolerance policy in
+``tests/golden/README.md``.  Regenerate (only after an intentional
+behaviour change; review the diff)::
 
     python tests/golden/regenerate.py
 """
@@ -30,6 +36,11 @@ for p in (os.path.join(_ROOT, "src"), _ROOT):
 import numpy as np
 
 GOLDEN_PATH = os.path.join(_HERE, "golden_monitor.json")
+TOURNAMENT_GOLDEN_PATH = os.path.join(_HERE, "golden_leaderboard.json")
+
+#: Tournament scenario constants — changing any is a fixture change.
+TOURNAMENT_N_VARIATION = 2
+TOURNAMENT_VARIATION_STEPS = 120
 
 #: Scenario constants — changing any of these is a fixture change.
 DATASET_SEED = 3
@@ -140,6 +151,26 @@ def build_golden() -> dict:
     }
 
 
+def build_tournament_golden(data=None) -> dict:
+    """Run the tiny-profile tournament and return its leaderboard doc.
+
+    ``data`` lets the test suite pass its session-cached
+    ``generate_dataset(TINY_SETUP)`` result; standalone regeneration
+    builds it fresh (deterministic either way).
+    """
+    from repro.experiments.data_generation import generate_dataset
+    from repro.experiments.tournament import TournamentConfig, run_tournament
+    from tests.conftest import TINY_SETUP
+
+    if data is None:
+        data = generate_dataset(TINY_SETUP)
+    config = TournamentConfig(
+        n_variation=TOURNAMENT_N_VARIATION,
+        variation_steps=TOURNAMENT_VARIATION_STEPS,
+    )
+    return run_tournament(data, config).leaderboard()
+
+
 def main() -> None:
     golden = build_golden()
     with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
@@ -150,6 +181,16 @@ def main() -> None:
         f"  sensors: {golden['placement']['selected_sensors']}  "
         f"episodes: {len(golden['monitor']['episodes'])}  "
         f"failovers: {golden['failover']['failovers']}"
+    )
+
+    leaderboard = build_tournament_golden()
+    with open(TOURNAMENT_GOLDEN_PATH, "w", encoding="utf-8") as fh:
+        json.dump(leaderboard, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"golden fixture written to {TOURNAMENT_GOLDEN_PATH}")
+    print(
+        "  ranking: "
+        + " > ".join(e["placer"] for e in leaderboard["entries"])
     )
 
 
