@@ -867,7 +867,7 @@ def run_tournament_bench(quick: bool = False):
         counters = {
             name: value
             for name, value in registry.snapshot()["counters"].items()
-            if name.startswith("placer.")
+            if name.startswith(("placer.", "tournament."))
         }
 
     report = result.leaderboard()
@@ -935,6 +935,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "placer fails",
     )
     parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="benchmark the sharded shared-memory serving fleet: "
+        "streams/sec and p50/p99 latency over shard counts, ring vs "
+        "pickle-queue transport, and a rolling hot-swap trial; exits "
+        "nonzero on any bit-identity or hot-swap failure",
+    )
+    parser.add_argument(
         "--markdown",
         default=None,
         metavar="leaderboard.md",
@@ -944,13 +952,65 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.n_jobs < 1:
         parser.error("--n-jobs must be >= 1")
-    if sum((args.datagen, args.monitor, args.screen, args.tournament)) > 1:
+    if sum(
+        (args.datagen, args.monitor, args.screen, args.tournament, args.serve)
+    ) > 1:
         parser.error(
-            "--datagen, --monitor, --screen and --tournament are "
-            "mutually exclusive"
+            "--datagen, --monitor, --screen, --tournament and --serve "
+            "are mutually exclusive"
         )
     if args.markdown and not args.tournament:
         parser.error("--markdown requires --tournament")
+
+    if args.serve:
+        from serve_bench import run_serve
+
+        report = run_serve(quick=args.quick)
+        print(
+            f"serve profile: {report['profile']}  cpus: "
+            f"{report['cpu_count']}  streams: {report['n_streams']}  "
+            f"cycles: {report['n_cycles']}  slot_ticks: "
+            f"{report['slot_ticks']}"
+        )
+        ref = report["reference"]
+        print(
+            f"reference run_batch: {ref['run_batch_s']:.3f}s "
+            f"({ref['frames_per_s']:,.0f} frames/s)"
+        )
+        tr = report["transport"]
+        print(
+            f"transport @1 shard: queue+pickle {tr['queue_pickle_s']:.3f}s "
+            f"vs ring {tr['ring_s']:.3f}s  speedup {tr['speedup']:.2f}x"
+        )
+        for point in report["points"]:
+            print(
+                f"  shards={point['shards']}: "
+                f"{point['streams_per_s']:,.1f} streams/s  "
+                f"p50 {point['p50_ms']:.2f} ms  p99 {point['p99_ms']:.2f} ms  "
+                f"x{point['speedup_vs_1shard']:.2f} vs 1 shard  "
+                f"bit_identical={point['bit_identical']}"
+            )
+        hs = report["hot_swap"]
+        print(
+            f"hot swap @cycle {hs['swap_at_cycle']}: "
+            f"dropped={hs['dropped_frames']} "
+            f"divergent={hs['divergent_cycles']} "
+            f"old/new slots {hs['slots_old_model']}/{hs['slots_new_model']}  "
+            f"bit_identical={hs['bit_identical']}"
+        )
+        if not report["scaling_gated"]:
+            print(
+                f"note: scaling target not gated (cpu_count="
+                f"{report['cpu_count']} < {4}); curve recorded as data"
+            )
+        if args.out:
+            _write_report(report, args.out)
+        if report["problems"]:
+            print(f"{len(report['problems'])} problem(s):")
+            for problem in report["problems"]:
+                print(f"  {problem}")
+            return 1
+        return 0
 
     if args.tournament:
         from repro.experiments.tournament import render_leaderboard_markdown

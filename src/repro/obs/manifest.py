@@ -3,9 +3,12 @@
 A *manifest* is a JSON-ready description of one instrumented run: the
 profile it used, per-experiment span timings, the dataset it ran on,
 Group-Lasso convergence statistics (iterations and final residual per
-lambda), the full span log, and a metrics snapshot.  The experiment
-runner writes it via ``--trace-out``; anything that holds an enabled
-registry can build one.
+lambda), the full span log, and a metrics snapshot.  Since schema v3 a
+``shards`` section breaks serving runs down per shard, harvested from
+the ``obs.worker`` events the :class:`~repro.serve.fleet.ShardedFleet`
+emits after merging each worker's snapshot.  The experiment runner
+writes it via ``--trace-out``; anything that holds an enabled registry
+can build one.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ __all__ = [
     "build_manifest",
     "convergence_stats",
     "render_timing_summary",
+    "shard_stats",
     "worker_stats",
 ]
 
@@ -61,6 +65,36 @@ def worker_stats(registry: MetricsRegistry) -> List[Dict[str, Any]]:
     for event in registry.events_named(WORKER_EVENT):
         stats.append({k: v for k, v in event.items()
                       if k not in ("event", "seq")})
+    return stats
+
+
+def shard_stats(registry: MetricsRegistry) -> List[Dict[str, Any]]:
+    """Per-shard serving telemetry for the manifest's ``shards`` section.
+
+    Groups the ``obs.worker`` events that carry a ``shard`` label (the
+    sharded serving fleet emits one per worker process at
+    ``ShardedFleet.finish``) and keeps, per shard, the scalar roll-up
+    fields (streams, cycles, frames, slots, events, failovers, model
+    version) next to the shard's merged metrics snapshot.  Plain
+    ``n_jobs`` workers (no ``shard`` label) stay in
+    :func:`worker_stats` only.
+    """
+    stats: List[Dict[str, Any]] = []
+    for event in registry.events_named(WORKER_EVENT):
+        shard = event.get("shard")
+        if shard is None:
+            continue
+        entry: Dict[str, Any] = {"shard": shard}
+        for field in (
+            "source", "n_streams", "cycles", "frames", "slots",
+            "events", "failovers", "model_version",
+        ):
+            if field in event:
+                entry[field] = event[field]
+        snapshot = event.get("snapshot")
+        if isinstance(snapshot, dict):
+            entry["snapshot"] = snapshot
+        stats.append(entry)
     return stats
 
 
@@ -110,13 +144,14 @@ def build_manifest(
         name = event.get("event", "?")
         event_counts[name] = event_counts.get(name, 0) + 1
     manifest: Dict[str, Any] = {
-        "schema": "repro.obs.manifest/v2",
+        "schema": "repro.obs.manifest/v3",
         "profile": profile,
         "elapsed_s": registry.elapsed,
         "experiments": _experiment_timings(registry),
         "dataset": dataset,
         "group_lasso": convergence_stats(registry),
         "workers": worker_stats(registry),
+        "shards": shard_stats(registry),
         "spans": [record.as_dict() for record in registry.spans],
         "metrics": registry.snapshot(),
         "event_counts": event_counts,

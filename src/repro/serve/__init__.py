@@ -1,0 +1,44 @@
+"""Sharded multi-process serving on shared-memory transport.
+
+The serving layer turns the in-process
+:class:`~repro.monitor.fleet.FleetMonitor` into a service shape:
+
+* :mod:`repro.serve.ring` — fixed-slot SPSC ring buffers over
+  ``multiprocessing.shared_memory`` with a sequence-number commit
+  protocol (no pickling on the hot path).
+* :mod:`repro.serve.shard` — the worker process: one ``FleetMonitor``
+  shard consuming frame slots, producing v_min/alarm result slots, and
+  watching a model-version slot for rolling hot-swaps.
+* :mod:`repro.serve.fleet` — :class:`ShardedFleet`, the coordinator
+  that partitions S streams across N workers, feeds the rings, merges
+  shard snapshots back into the parent registry, and reassembles
+  per-stream events/failures.
+* :mod:`repro.serve.frontend` — :class:`IngestionFrontend`, an asyncio
+  front-end with bounded-queue backpressure (block / drop-oldest).
+
+Results are bit-identical to a single in-process
+``FleetMonitor.run_batch`` over the same frames; the ``--serve``
+benchmark asserts it (see ``BENCH_serve.json`` and
+``docs/runtime_serving.md``).
+"""
+
+from repro.serve.fleet import ServeResult, ShardedFleet
+from repro.serve.frontend import IngestionFrontend
+from repro.serve.ring import (
+    RingClosed,
+    RingSpec,
+    RingTimeout,
+    SpscRing,
+    VersionSlot,
+)
+
+__all__ = [
+    "IngestionFrontend",
+    "RingClosed",
+    "RingSpec",
+    "RingTimeout",
+    "ServeResult",
+    "ShardedFleet",
+    "SpscRing",
+    "VersionSlot",
+]

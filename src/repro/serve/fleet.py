@@ -1,0 +1,637 @@
+"""``ShardedFleet``: multi-process serving over shared-memory rings.
+
+The coordinator partitions S streams into N contiguous shards, spawns
+one :func:`repro.serve.shard.run_worker` process per shard, and feeds
+each worker through a pair of :class:`~repro.serve.ring.SpscRing`
+buffers — frames out, per-cycle ``(v_min, alarm)`` results back.  The
+hot path never pickles: frame chunks are sliced straight into the
+input ring's shared-memory slots and results are copied out of the
+result ring's slots.
+
+Models travel by file: the coordinator serializes the initial model
+(and every :meth:`ShardedFleet.hot_swap`) with
+:func:`repro.core.serialization.save_placement` into a shared work
+directory and broadcasts ``(version, effective_from_cycle)`` through a
+:class:`~repro.serve.ring.VersionSlot`; workers reload and swap
+between batches.  Serialization round-trips float64 coefficients
+exactly, so a swap to a re-serialized identical model is bit-invisible
+in the outputs.
+
+At :meth:`finish` each worker ships its final report (events,
+failures, stats, metrics snapshot) once over a pipe; the coordinator
+merges every shard snapshot into the parent registry
+(:meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`) and emits
+one ``obs.worker`` event per shard, which run manifests collect into
+their per-shard section (``repro.obs.manifest/v3``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import PlacementModel
+from repro.core.serialization import save_placement
+from repro.monitor.faults import FaultPolicy
+from repro.monitor.fleet import EmergencyEvent, FleetStats, SensorFailure
+from repro.obs import get_registry
+from repro.serve.ring import RingClosed, SpscRing, VersionSlot
+from repro.serve.shard import (
+    KIND_FRAMES,
+    KIND_STOP,
+    META_FIELDS,
+    ShardSpec,
+    model_path,
+    run_worker,
+)
+from repro.utils.validation import check_integer
+
+__all__ = ["ServeResult", "ShardedFleet"]
+
+#: Coordinator-side poll sleep while waiting on ring space/results.
+_POLL_S = 200e-6
+
+
+@dataclass
+class ServeResult:
+    """Merged outcome of one :meth:`ShardedFleet.finish`.
+
+    ``events`` / ``failures`` are per *global* stream (failure records
+    re-indexed from shard-local to fleet-global stream numbers);
+    ``shard_stats`` keeps each worker's own :class:`FleetStats`.
+    """
+
+    n_streams: int
+    n_shards: int
+    cycles: int
+    frames: int
+    stats: FleetStats
+    shard_stats: Dict[str, FleetStats]
+    events: List[List[EmergencyEvent]]
+    failures: List[List[SensorFailure]]
+    model_version: int
+    latencies_ns: List[int]
+
+    def latency_percentiles_ms(self) -> Dict[str, float]:
+        """p50/p99/max end-to-end slot latency in milliseconds."""
+        if not self.latencies_ns:
+            return {"p50_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+        lat = np.asarray(self.latencies_ns, dtype=np.float64) / 1e6
+        return {
+            "p50_ms": float(np.percentile(lat, 50)),
+            "p99_ms": float(np.percentile(lat, 99)),
+            "max_ms": float(lat.max()),
+        }
+
+
+class ShardedFleet:
+    """Coordinator of N worker processes serving S streams.
+
+    Parameters
+    ----------
+    model:
+        The fitted placement every shard serves initially.
+    threshold, debounce, policy:
+        Forwarded to each shard's :class:`~repro.monitor.fleet.FleetMonitor`.
+    n_streams:
+        Total streams S, partitioned contiguously across shards.
+    n_shards:
+        Worker processes N (``1 <= N <= S``).
+    slot_ticks:
+        Cycles per ring slot (the batching grain of the hot path).
+    ring_slots:
+        Slots per ring; bounds in-flight frames per shard at
+        ``ring_slots * slot_ticks`` cycles (the backpressure depth).
+    mp_context:
+        ``multiprocessing`` start method.  ``"fork"`` (default on
+        platforms that have it) avoids re-importing the world per
+        worker; ``"spawn"`` works too since :class:`ShardSpec` is
+        picklable.
+    timeout:
+        Seconds any single ring wait may take before the coordinator
+        declares a worker dead.
+    workdir:
+        Directory for serialized model versions (a temp dir by
+        default; removed at :meth:`finish`).
+    """
+
+    def __init__(
+        self,
+        model: PlacementModel,
+        threshold: float,
+        *,
+        n_streams: int,
+        n_shards: int,
+        debounce: int = 1,
+        policy: Optional[FaultPolicy] = None,
+        slot_ticks: int = 32,
+        ring_slots: int = 8,
+        mp_context: Optional[str] = None,
+        timeout: float = 60.0,
+        workdir: Optional[str] = None,
+    ) -> None:
+        check_integer(n_streams, "n_streams", minimum=1)
+        check_integer(n_shards, "n_shards", minimum=1)
+        check_integer(slot_ticks, "slot_ticks", minimum=1)
+        check_integer(ring_slots, "ring_slots", minimum=2)
+        if n_shards > n_streams:
+            raise ValueError(
+                f"n_shards={n_shards} exceeds n_streams={n_streams}"
+            )
+        self.model = model
+        self.threshold = float(threshold)
+        self.debounce = int(debounce)
+        self.policy = policy
+        self.n_streams = int(n_streams)
+        self.n_shards = int(n_shards)
+        self.slot_ticks = int(slot_ticks)
+        self.ring_slots = int(ring_slots)
+        self.timeout = float(timeout)
+        self.n_sensors = int(
+            np.asarray(model.sensor_candidate_cols).size
+        )
+
+        if mp_context is None:
+            mp_context = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        ctx = multiprocessing.get_context(mp_context)
+
+        self._own_workdir = workdir is None
+        self._workdir = workdir or tempfile.mkdtemp(prefix="repro-serve-")
+        self._version = 0
+        save_placement(model_path(self._workdir, 0), model)
+        self._version_slot = VersionSlot.create()
+
+        bounds = np.linspace(0, self.n_streams, self.n_shards + 1).astype(int)
+        self._shards: List[ShardSpec] = []
+        self._in_rings: List[SpscRing] = []
+        self._out_rings: List[SpscRing] = []
+        self._pipes: List[Any] = []
+        self._procs: List[Any] = []
+        try:
+            for i in range(self.n_shards):
+                lo, hi = int(bounds[i]), int(bounds[i + 1])
+                s_i = hi - lo
+                in_ring = SpscRing.create(
+                    (s_i, self.slot_ticks, self.n_sensors),
+                    self.ring_slots,
+                    META_FIELDS,
+                )
+                out_ring = SpscRing.create(
+                    (2, s_i, self.slot_ticks), self.ring_slots, META_FIELDS
+                )
+                spec = ShardSpec(
+                    shard_id=i,
+                    name=f"shard{i}",
+                    stream_lo=lo,
+                    stream_hi=hi,
+                    in_ring=in_ring.spec,
+                    out_ring=out_ring.spec,
+                    version_name=self._version_slot.name,
+                    model_dir=self._workdir,
+                    threshold=self.threshold,
+                    debounce=self.debounce,
+                    policy=self.policy,
+                )
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=run_worker,
+                    args=(spec, child_conn),
+                    name=f"repro-serve-{spec.name}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._shards.append(spec)
+                self._in_rings.append(in_ring)
+                self._out_rings.append(out_ring)
+                self._pipes.append(parent_conn)
+                self._procs.append(proc)
+        except Exception:
+            self.abort()
+            raise
+
+        self._next_cycle = 0  # base cycle of the next staged chunk
+        self._inflight: Optional[Dict[str, Any]] = None
+        # base_cycle -> {"n_ticks", "submit_ns", "shards": {i: (v, f, ver)}}
+        self._pending: Dict[int, Dict[str, Any]] = {}
+        self._completed: List[Tuple[int, int, np.ndarray, np.ndarray, int]] = []
+        self._submitted_slots = 0
+        self._collected_slots = 0
+        self.latencies_ns: List[int] = []
+        self._finished = False
+
+    # -- submission ------------------------------------------------------
+
+    def try_submit_chunk(self, chunk: Optional[np.ndarray] = None) -> bool:
+        """Nonblocking, resumable submit of one ``(S, T<=slot_ticks, Q)`` chunk.
+
+        Stages ``chunk`` on first call and pushes it shard by shard;
+        when some ring is full the call returns ``False`` and must be
+        retried (with ``chunk=None`` or the same staged array) until it
+        returns ``True``.  The submit timestamp is taken at staging, so
+        measured end-to-end latency includes backpressure stalls.
+        """
+        if self._inflight is None:
+            if chunk is None:
+                return True
+            chunk = np.ascontiguousarray(chunk, dtype=np.float64)
+            if chunk.ndim != 3 or chunk.shape[0] != self.n_streams or (
+                chunk.shape[1] > self.slot_ticks
+                or chunk.shape[1] == 0
+                or chunk.shape[2] != self.n_sensors
+            ):
+                raise ValueError(
+                    f"chunk must be ({self.n_streams}, 1..{self.slot_ticks},"
+                    f" {self.n_sensors}); got {chunk.shape}"
+                )
+            self._inflight = {
+                "chunk": chunk,
+                "n_ticks": int(chunk.shape[1]),
+                "base": self._next_cycle,
+                "submit_ns": time.perf_counter_ns(),
+                "pushed": [False] * self.n_shards,
+            }
+            # Register the pending entry at staging time: with the chunk
+            # partially pushed, an already-fed shard may answer before
+            # the remaining shards accept their slices.
+            self._pending[self._next_cycle] = {
+                "n_ticks": int(chunk.shape[1]),
+                "submit_ns": self._inflight["submit_ns"],
+                "shards": {},
+            }
+        state = self._inflight
+        n_ticks = state["n_ticks"]
+        base = state["base"]
+        submit_ns = state["submit_ns"]
+        data = state["chunk"]
+        all_pushed = True
+        for i, spec in enumerate(self._shards):
+            if state["pushed"][i]:
+                continue
+            part = data[spec.stream_lo : spec.stream_hi]
+
+            def fill(payload: np.ndarray, meta: np.ndarray) -> None:
+                payload[:, :n_ticks, :] = part
+                meta[0] = KIND_FRAMES
+                meta[1] = n_ticks
+                meta[2] = base
+                meta[3] = submit_ns
+
+            if self._in_rings[i].try_push(fill):
+                state["pushed"][i] = True
+            else:
+                all_pushed = False
+        if not all_pushed:
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("serve.backpressure_stalls").inc()
+            return False
+        self._next_cycle += n_ticks
+        self._submitted_slots += 1
+        self._inflight = None
+        return True
+
+    def submit(self, frames: np.ndarray) -> None:
+        """Submit a whole ``(S, T, Q)`` tensor, chunked to the slot grain.
+
+        Blocks (polling results meanwhile, so no deadlock on full
+        rings) until every chunk is accepted by every shard.
+        """
+        frames = np.asarray(frames, dtype=np.float64)
+        if frames.ndim != 3 or frames.shape[0] != self.n_streams or (
+            frames.shape[2] != self.n_sensors
+        ):
+            raise ValueError(
+                f"frames must be ({self.n_streams}, T, {self.n_sensors}); "
+                f"got {frames.shape}"
+            )
+        for lo in range(0, frames.shape[1], self.slot_ticks):
+            chunk = frames[:, lo : lo + self.slot_ticks, :]
+            deadline = time.monotonic() + self.timeout
+            while not self.try_submit_chunk(chunk):
+                self.poll_results()
+                self._check_workers()
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        "serve submit stalled: a shard stopped draining "
+                        "its input ring"
+                    )
+                time.sleep(_POLL_S)
+
+    # -- result collection ----------------------------------------------
+
+    def poll_results(self) -> int:
+        """Drain every shard's result ring; returns slots completed now."""
+        completed = 0
+        for i in range(self.n_shards):
+
+            def read(payload: np.ndarray, meta: np.ndarray) -> Tuple:
+                n_ticks = int(meta[1])
+                return (
+                    int(meta[2]),
+                    n_ticks,
+                    payload[0, :, :n_ticks].copy(),
+                    payload[1, :, :n_ticks] != 0.0,
+                    int(meta[4]),
+                )
+
+            while True:
+                try:
+                    ok, item = self._out_rings[i].try_pop(read)
+                except RingClosed:
+                    break
+                if not ok:
+                    break
+                base, n_ticks, v_min_i, flags_i, version = item
+                entry = self._pending.get(base)
+                if entry is None:
+                    raise RuntimeError(
+                        f"result for unsubmitted base cycle {base}"
+                    )
+                entry["shards"][i] = (v_min_i, flags_i, version)
+                if len(entry["shards"]) == self.n_shards:
+                    completed += self._complete(base, entry)
+        return completed
+
+    def _complete(self, base: int, entry: Dict[str, Any]) -> int:
+        n_ticks = entry["n_ticks"]
+        v_min = np.empty((self.n_streams, n_ticks))
+        flags = np.zeros((self.n_streams, n_ticks), dtype=bool)
+        version = 0
+        for i, spec in enumerate(self._shards):
+            v_min_i, flags_i, ver = entry["shards"][i]
+            v_min[spec.stream_lo : spec.stream_hi] = v_min_i
+            flags[spec.stream_lo : spec.stream_hi] = flags_i
+            version = max(version, ver)
+        self.latencies_ns.append(
+            time.perf_counter_ns() - entry["submit_ns"]
+        )
+        self._completed.append((base, n_ticks, flags, v_min, version))
+        del self._pending[base]
+        self._collected_slots += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("serve.slots").inc()
+            registry.counter("serve.frames").inc(self.n_streams * n_ticks)
+            registry.timer("serve.e2e").record(self.latencies_ns[-1] / 1e9)
+        return 1
+
+    def take_completed(
+        self,
+    ) -> List[Tuple[int, int, np.ndarray, np.ndarray, int]]:
+        """Completed slots so far, ordered by base cycle:
+        ``(base_cycle, n_ticks, flags, v_min, model_version)``."""
+        self.poll_results()
+        out = sorted(self._completed, key=lambda item: item[0])
+        self._completed = []
+        return out
+
+    def drain(self) -> None:
+        """Block until every submitted slot's results are collected."""
+        deadline = time.monotonic() + self.timeout
+        while self._collected_slots < self._submitted_slots:
+            if self.poll_results() == 0:
+                self._check_workers()
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"serve drain stalled at "
+                        f"{self._collected_slots}/{self._submitted_slots} "
+                        "slots"
+                    )
+                time.sleep(_POLL_S)
+            else:
+                deadline = time.monotonic() + self.timeout
+
+    def run_frames(
+        self, frames: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Submit ``(S, T, Q)``, drain, and return ``(flags, v_min)``.
+
+        The convenience path the benchmark and the bit-equivalence
+        tests use; output ordering matches the in-process
+        ``FleetMonitor.run_batch`` exactly.
+        """
+        frames = np.asarray(frames, dtype=np.float64)
+        self.submit(frames)
+        self.drain()
+        slots = self.take_completed()
+        n_cycles = sum(n for _, n, _, _, _ in slots)
+        flags = np.zeros((self.n_streams, n_cycles), dtype=bool)
+        v_min = np.empty((self.n_streams, n_cycles))
+        first = slots[0][0] if slots else 0
+        for base, n_ticks, flags_i, v_min_i, _ in slots:
+            lo = base - first
+            flags[:, lo : lo + n_ticks] = flags_i
+            v_min[:, lo : lo + n_ticks] = v_min_i
+        return flags, v_min
+
+    # -- rolling model hot-swap ------------------------------------------
+
+    @property
+    def model_version(self) -> int:
+        """Version of the most recently published model."""
+        return self._version
+
+    def hot_swap(self, model: PlacementModel) -> int:
+        """Publish a new model version; returns the version number.
+
+        The model is serialized to the shared work directory first and
+        the version broadcast second, so a worker can never observe a
+        version without its file.  The swap takes effect at the next
+        submitted cycle (``effective_from_cycle = next base cycle``):
+        slots already submitted are served by the old model, everything
+        submitted afterwards by the new one — a deterministic boundary
+        regardless of worker timing.  No frames are dropped.
+        """
+        if self._inflight is not None:
+            raise RuntimeError(
+                "hot_swap with a partially pushed chunk in flight; finish "
+                "the try_submit_chunk retry loop first"
+            )
+        version = self._version + 1
+        save_placement(model_path(self._workdir, version), model)
+        self._version_slot.write(version, from_cycle=self._next_cycle)
+        self._version = version
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("serve.hot_swaps").inc()
+            registry.event(
+                "serve.hot_swap",
+                version=version,
+                effective_from_cycle=self._next_cycle,
+            )
+        return version
+
+    # -- shutdown ---------------------------------------------------------
+
+    def _check_workers(self) -> None:
+        for i, proc in enumerate(self._procs):
+            if proc is not None and not proc.is_alive():
+                message = f"serve worker {self._shards[i].name} died"
+                if self._pipes[i] is not None and self._pipes[i].poll(0):
+                    try:
+                        report = self._pipes[i].recv()
+                    except EOFError:
+                        # A killed worker's pipe polls readable at EOF.
+                        report = None
+                    if isinstance(report, dict) and "error" in report:
+                        message += f": {report['error']}"
+                raise RuntimeError(message)
+
+    def finish(self) -> ServeResult:
+        """Drain, stop every worker, merge telemetry, and clean up.
+
+        Merges each shard's metrics snapshot into the parent registry
+        and emits one ``obs.worker`` event per shard (source
+        ``"serve"``), which ``repro.obs.manifest`` v3 collects into the
+        per-shard manifest section.
+        """
+        if self._finished:
+            raise RuntimeError("ShardedFleet.finish called twice")
+        self.drain()
+        for ring in self._in_rings:
+
+            def stop(payload: np.ndarray, meta: np.ndarray) -> None:
+                meta[0] = KIND_STOP
+
+            ring.push(stop, timeout=self.timeout)
+
+        reports: List[Dict[str, Any]] = []
+        for i, pipe in enumerate(self._pipes):
+            if not pipe.poll(self.timeout):
+                raise TimeoutError(
+                    f"serve worker {self._shards[i].name} sent no final "
+                    "report"
+                )
+            report = pipe.recv()
+            if "error" in report:
+                raise RuntimeError(
+                    f"serve worker {self._shards[i].name} failed:\n"
+                    f"{report['error']}"
+                )
+            reports.append(report)
+        for proc in self._procs:
+            proc.join(self.timeout)
+
+        registry = get_registry()
+        events: List[List[EmergencyEvent]] = [[] for _ in range(self.n_streams)]
+        failures: List[List[SensorFailure]] = [
+            [] for _ in range(self.n_streams)
+        ]
+        shard_stats: Dict[str, FleetStats] = {}
+        frames = 0
+        version = 0
+        for spec, report in zip(self._shards, reports):
+            stats: FleetStats = report["stats"]
+            shard_stats[spec.name] = stats
+            frames += report["frames"]
+            version = max(version, report["model_version"])
+            for local, stream_events in enumerate(report["events"]):
+                events[spec.stream_lo + local] = stream_events
+            for local, stream_failures in enumerate(report["failures"]):
+                failures[spec.stream_lo + local] = [
+                    replace(f, stream=spec.stream_lo + local)
+                    for f in stream_failures
+                ]
+            if registry.enabled:
+                registry.merge_snapshot(report["snapshot"])
+                registry.event(
+                    "obs.worker",
+                    source="serve",
+                    shard=spec.name,
+                    n_streams=stats.n_streams,
+                    cycles=stats.cycles,
+                    events=stats.events,
+                    failovers=stats.failovers,
+                    frames=report["frames"],
+                    slots=report["slots"],
+                    model_version=report["model_version"],
+                    snapshot=report["snapshot"],
+                )
+
+        all_stats = list(shard_stats.values())
+        merged = FleetStats(
+            n_streams=self.n_streams,
+            cycles=max((s.cycles for s in all_stats), default=0),
+            alarm_cycles=sum(s.alarm_cycles for s in all_stats),
+            events=sum(s.events for s in all_stats),
+            min_predicted=min(
+                (s.min_predicted for s in all_stats), default=float("inf")
+            ),
+            failovers=sum(s.failovers for s in all_stats),
+            degraded_streams=sum(s.degraded_streams for s in all_stats),
+        )
+        result = ServeResult(
+            n_streams=self.n_streams,
+            n_shards=self.n_shards,
+            cycles=merged.cycles,
+            frames=frames,
+            stats=merged,
+            shard_stats=shard_stats,
+            events=events,
+            failures=failures,
+            model_version=version,
+            latencies_ns=list(self.latencies_ns),
+        )
+        self._finished = True
+        self._cleanup()
+        return result
+
+    def abort(self) -> None:
+        """Hard stop: close rings, kill workers, release shared memory."""
+        for ring in self._in_rings + self._out_rings:
+            try:
+                ring.close()
+            except Exception:
+                pass
+        for proc in self._procs:
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+                proc.join(5.0)
+        self._finished = True
+        self._cleanup()
+
+    def _cleanup(self) -> None:
+        for ring in self._in_rings + self._out_rings:
+            try:
+                ring.detach()
+                ring.unlink()
+            except Exception:
+                pass
+        self._in_rings = []
+        self._out_rings = []
+        try:
+            self._version_slot.detach()
+            self._version_slot.unlink()
+        except Exception:
+            pass
+        for pipe in self._pipes:
+            try:
+                pipe.close()
+            except Exception:
+                pass
+        self._pipes = []
+        self._procs = []
+        if self._own_workdir and os.path.isdir(self._workdir):
+            shutil.rmtree(self._workdir, ignore_errors=True)
+
+    def __enter__(self) -> "ShardedFleet":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._finished:
+            if exc_type is None:
+                self.finish()
+            else:
+                self.abort()

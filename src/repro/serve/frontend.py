@@ -1,0 +1,156 @@
+"""Asyncio ingestion front-end with bounded-queue backpressure.
+
+:class:`IngestionFrontend` sits between per-cycle tick producers and a
+:class:`~repro.serve.fleet.ShardedFleet`.  Producers push one ``(S, Q)``
+tick per cycle; the frontend batches ticks to the fleet's slot grain,
+routes each chunk to the shards (the fleet slices per-shard stream
+ranges internally), and bounds the number of chunks waiting for ring
+space.  When the bound is hit, one of two policies applies:
+
+* ``"block"`` — ``submit_tick`` awaits until the fleet drains a chunk;
+  every wait increments the ``serve.backpressure_stalls`` counter.
+* ``"drop_oldest"`` — the oldest queued chunk is discarded to make
+  room; dropped cycles are counted in ``serve.dropped_ticks``.
+
+The frontend only needs the fleet's nonblocking surface —
+``try_submit_chunk`` / ``poll_results`` plus the ``n_streams`` /
+``n_sensors`` / ``slot_ticks`` shape attributes — so tests drive it
+against an in-process stub instead of real worker processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Deque, List
+
+import numpy as np
+
+from repro.obs import get_registry
+
+__all__ = ["IngestionFrontend"]
+
+_POLICIES = ("block", "drop_oldest")
+
+
+class IngestionFrontend:
+    """Bounded asyncio ingestion in front of a sharded fleet.
+
+    Parameters
+    ----------
+    fleet:
+        Anything with the :class:`~repro.serve.fleet.ShardedFleet`
+        nonblocking surface (``try_submit_chunk``, ``poll_results``,
+        ``n_streams``, ``n_sensors``, ``slot_ticks``).
+    max_pending:
+        Maximum chunks queued waiting for ring space before the
+        backpressure policy kicks in.
+    policy:
+        ``"block"`` or ``"drop_oldest"`` (see module docstring).
+    poll_s:
+        Sleep between pump attempts while blocked.
+    """
+
+    def __init__(
+        self,
+        fleet: Any,
+        *,
+        max_pending: int = 64,
+        policy: str = "block",
+        poll_s: float = 200e-6,
+    ) -> None:
+        if policy not in _POLICIES:
+            raise ValueError(
+                f"policy must be one of {_POLICIES}, got {policy!r}"
+            )
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.fleet = fleet
+        self.max_pending = int(max_pending)
+        self.policy = policy
+        self.poll_s = float(poll_s)
+        self._ticks: List[np.ndarray] = []
+        self._pending: Deque[np.ndarray] = deque()
+        self.submitted_ticks = 0
+        self.dropped_ticks = 0
+        self.stalls = 0
+
+    # -- internals -------------------------------------------------------
+
+    def _seal_chunk(self) -> None:
+        """Stack buffered ticks into one ``(S, n, Q)`` chunk."""
+        if not self._ticks:
+            return
+        chunk = np.stack(self._ticks, axis=1)
+        self._ticks = []
+        if len(self._pending) >= self.max_pending:
+            if self.policy == "drop_oldest":
+                dropped = self._pending.popleft()
+                self.dropped_ticks += dropped.shape[1]
+                registry = get_registry()
+                if registry.enabled:
+                    registry.counter("serve.dropped_ticks").inc(
+                        dropped.shape[1]
+                    )
+            # "block" never reaches here: submit_tick awaits space before
+            # sealing would overflow.
+        self._pending.append(chunk)
+
+    def _pump(self) -> int:
+        """Push queued chunks while the fleet accepts them."""
+        pushed = 0
+        self.fleet.poll_results()
+        while self._pending:
+            head = self._pending[0]
+            if not self.fleet.try_submit_chunk(head):
+                break
+            self._pending.popleft()
+            self.submitted_ticks += head.shape[1]
+            pushed += 1
+        return pushed
+
+    async def _wait_for_room(self) -> None:
+        registry = get_registry()
+        while len(self._pending) >= self.max_pending:
+            if self._pump() == 0:
+                self.stalls += 1
+                if registry.enabled:
+                    registry.counter("serve.backpressure_stalls").inc()
+                await asyncio.sleep(self.poll_s)
+
+    # -- public API ------------------------------------------------------
+
+    @property
+    def pending_chunks(self) -> int:
+        """Chunks queued and waiting for ring space."""
+        return len(self._pending)
+
+    async def submit_tick(self, tick: np.ndarray) -> None:
+        """Ingest one ``(S, Q)`` cycle of sensor readings.
+
+        Ticks accumulate to the fleet's ``slot_ticks`` grain; each full
+        chunk enters the bounded queue and is pushed to the ring as
+        space allows.  Under ``"block"`` this coroutine suspends when
+        the queue is full; under ``"drop_oldest"`` it never suspends.
+        """
+        tick = np.asarray(tick, dtype=np.float64)
+        if tick.shape != (self.fleet.n_streams, self.fleet.n_sensors):
+            raise ValueError(
+                f"tick must be ({self.fleet.n_streams}, "
+                f"{self.fleet.n_sensors}); got {tick.shape}"
+            )
+        self._ticks.append(tick)
+        if len(self._ticks) >= self.fleet.slot_ticks:
+            if self.policy == "block":
+                await self._wait_for_room()
+            self._seal_chunk()
+        self._pump()
+
+    async def flush(self) -> None:
+        """Seal any partial chunk and push everything queued."""
+        if self.policy == "block":
+            await self._wait_for_room()
+        self._seal_chunk()
+        while self._pending:
+            if self._pump() == 0:
+                await asyncio.sleep(self.poll_s)

@@ -1,0 +1,439 @@
+"""Fixed-slot SPSC ring buffers over ``multiprocessing.shared_memory``.
+
+One :class:`SpscRing` carries fixed-shape float64 payload slots plus a
+small int64 metadata row per slot between exactly one producer and one
+consumer process.  Nothing on the hot path is pickled: the producer
+fills a slot *in place* through a numpy view of shared memory, the
+consumer reads the same bytes through its own view, and ownership is
+handed over with a per-slot sequence number (the Vyukov/Disruptor
+commit protocol):
+
+* slot ``i`` starts at ``seq[i] = i``;
+* the producer holding ticket ``t`` waits for ``seq[t % n] == t``,
+  writes payload + metadata, then commits ``seq[t % n] = t + 1``;
+* the consumer holding ticket ``t`` waits for ``seq[t % n] == t + 1``,
+  reads, then releases ``seq[t % n] = t + n``.
+
+Tickets are process-local monotonic counters, so neither side ever
+touches the other's cursor — each ``seq`` cell is written by exactly
+one side at a time and read by the other, which on x86-64 (aligned
+8-byte stores, total-store-order) makes the commit a safe
+release/acquire handoff without locks.
+
+Waits spin briefly and then block on a pair of OS semaphores used as
+*wake hints*: the producer posts ``items`` after each commit and the
+consumer posts ``space`` after each release, while the sequence
+numbers remain the only correctness authority.  Tokens are drained
+best-effort on the fast path, so a hint that drifts (e.g. the extra
+token posted by :meth:`SpscRing.close` to wake a blocked peer) causes
+at most a spurious re-check, never a lost wakeup — and an idle ring
+costs no CPU.  Rings attached from a hand-built spec (no semaphores)
+fall back to spin+park polling.
+
+A :class:`RingSpec` is the picklable attach descriptor handed to the
+child process; a :class:`VersionSlot` is a two-int shared cell used by
+the serving layer to broadcast rolling model hot-swaps
+(``(version, effective_from_cycle)``; the *from* cycle is written
+before the version so a reader that observes the new version always
+sees its effective cycle).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Any, Callable, Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "RingClosed",
+    "RingIntegrityError",
+    "RingSpec",
+    "RingTimeout",
+    "SpscRing",
+    "VersionSlot",
+]
+
+#: Busy-poll iterations before a wait falls back to sleeping.  Spinning
+#: only pays when the peer can make progress on another core; on a
+#: single-CPU host it just steals the peer's timeslice, so park
+#: immediately there.
+_SPIN = 200 if (os.cpu_count() or 1) > 1 else 0
+
+#: Sleep quantum of a parked wait (seconds) when no semaphore exists.
+_PARK_S = 50e-6
+
+#: Upper bound on a single blocking semaphore wait (seconds).  Bounded
+#: so a waiter notices ``closed`` within one quantum even if the close
+#: wake token was already drained elsewhere.
+_SEM_WAIT_S = 0.05
+
+
+class RingClosed(Exception):
+    """The ring was closed: no more slots will be produced/consumed."""
+
+
+class RingTimeout(TimeoutError):
+    """A slot wait exceeded its timeout."""
+
+
+class RingIntegrityError(RuntimeError):
+    """A consumed slot's commit stamp disagrees with the ticket."""
+
+
+@dataclass(frozen=True)
+class RingSpec:
+    """Picklable descriptor for attaching to an existing ring.
+
+    Attributes
+    ----------
+    name:
+        Shared-memory block name.
+    slot_shape:
+        Per-slot payload shape (float64).
+    n_slots:
+        Slot count (ring capacity).
+    meta_fields:
+        User-visible int64 metadata fields per slot.
+    items, space:
+        Wake semaphores (filled items / free slots).  Created by
+        :meth:`SpscRing.create`; they survive pickling only through the
+        ``multiprocessing`` process-spawn channel (``Process`` args),
+        which is exactly how shard workers receive their specs.  When
+        absent (a spec built by hand), waits fall back to spin+park
+        polling on the sequence numbers alone.
+    """
+
+    name: str
+    slot_shape: Tuple[int, ...]
+    n_slots: int
+    meta_fields: int
+    items: Optional[Any] = field(default=None, compare=False)
+    space: Optional[Any] = field(default=None, compare=False)
+
+
+class SpscRing:
+    """Single-producer single-consumer shared-memory slot ring.
+
+    Use :meth:`create` in the coordinating process and :meth:`attach`
+    (with :attr:`spec`) in the peer.  Exactly one process may push and
+    exactly one may pop; which side does which is up to the caller.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        spec: RingSpec,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self.spec = spec
+        self._owner = owner
+        self._items = spec.items
+        self._space = spec.space
+        n = spec.n_slots
+        off = 0
+        self._closed = np.ndarray((1,), np.int64, buffer=shm.buf, offset=off)
+        off += 8
+        self._seq = np.ndarray((n,), np.int64, buffer=shm.buf, offset=off)
+        off += 8 * n
+        # One hidden trailing metadata field holds the commit stamp.
+        self._meta = np.ndarray(
+            (n, spec.meta_fields + 1), np.int64, buffer=shm.buf, offset=off
+        )
+        off += 8 * n * (spec.meta_fields + 1)
+        self._payload = np.ndarray(
+            (n, *spec.slot_shape), np.float64, buffer=shm.buf, offset=off
+        )
+        self._head = 0  # producer ticket (local to the pushing side)
+        self._tail = 0  # consumer ticket (local to the popping side)
+
+    # -- lifecycle -------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        slot_shape: Tuple[int, ...],
+        n_slots: int,
+        meta_fields: int = 6,
+    ) -> "SpscRing":
+        """Allocate a new ring (the creating process owns unlink)."""
+        # With a single slot, a committed ticket (seq = t + 1) is
+        # indistinguishable from the slot released for the *next*
+        # ticket (seq = (t - n) + n + 1 when n == 1), so the protocol
+        # needs at least two slots.
+        if n_slots < 2:
+            raise ValueError("n_slots must be >= 2")
+        if meta_fields < 1:
+            raise ValueError("meta_fields must be >= 1")
+        slot_shape = tuple(int(d) for d in slot_shape)
+        slot_items = int(np.prod(slot_shape, dtype=np.int64))
+        nbytes = (
+            8
+            + 8 * n_slots
+            + 8 * n_slots * (meta_fields + 1)
+            + 8 * n_slots * slot_items
+        )
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        ctx = multiprocessing.get_context()
+        spec = RingSpec(
+            name=shm.name,
+            slot_shape=slot_shape,
+            n_slots=int(n_slots),
+            meta_fields=int(meta_fields),
+            # Hint semaphores start empty: the fast path consults the
+            # sequence numbers first, so no priming tokens are needed.
+            items=ctx.Semaphore(0),
+            space=ctx.Semaphore(0),
+        )
+        ring = cls(shm, spec, owner=True)
+        ring._closed[0] = 0
+        ring._seq[:] = np.arange(n_slots, dtype=np.int64)
+        ring._meta[:] = 0
+        return ring
+
+    @classmethod
+    def attach(cls, spec: RingSpec) -> "SpscRing":
+        """Attach to a ring created elsewhere (does not own unlink)."""
+        # Attaching re-registers the segment with the (shared, set-based)
+        # resource tracker; that is idempotent, and the single owner-side
+        # unlink unregisters it, so no extra bookkeeping is needed here.
+        shm = shared_memory.SharedMemory(name=spec.name)
+        return cls(shm, spec, owner=False)
+
+    def close(self) -> None:
+        """Mark the ring closed; both sides observe it on their next wait."""
+        self._closed[0] = 1
+        # Wake any blocked peer immediately; these extra tokens are
+        # harmless (the waiter re-checks seq/closed after every wake).
+        for sem in (self._items, self._space):
+            if sem is not None:
+                sem.release()
+
+    @property
+    def closed(self) -> bool:
+        """Whether either side marked the ring closed."""
+        return bool(self._closed[0])
+
+    def detach(self) -> None:
+        """Drop the local mapping (call :meth:`unlink` from the owner)."""
+        self._closed = self._seq = self._meta = self._payload = None  # type: ignore[assignment]
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the shared segment (owner side, after :meth:`detach`)."""
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+
+    # -- waiting ---------------------------------------------------------
+
+    def _wait(
+        self,
+        idx: int,
+        want: int,
+        sem: Optional[Any],
+        timeout: Optional[float],
+    ) -> bool:
+        """Wait for ``seq[idx] == want``; False when closed first.
+
+        ``sem`` is the wake-hint semaphore the peer posts when this
+        condition can progress (``space`` for producers, ``items`` for
+        consumers); ``None`` falls back to spin+park polling.
+        """
+        seq = self._seq
+        deadline = None if timeout is None else time.monotonic() + timeout
+        spins = 0
+        while True:
+            if seq[idx] == want:
+                if sem is not None:
+                    # Drain the matching hint token so counts stay in
+                    # step with handoffs (best-effort; may be absent).
+                    sem.acquire(False)
+                return True
+            if self._closed[0]:
+                # The slot may have committed between the two reads.
+                return bool(seq[idx] == want)
+            spins += 1
+            if spins < _SPIN:
+                continue
+            if deadline is not None and time.monotonic() >= deadline:
+                raise RingTimeout(
+                    f"ring {self.spec.name}: slot {idx} not ready within "
+                    f"{timeout:g}s (want seq {want}, have {int(seq[idx])})"
+                )
+            if sem is not None:
+                quantum = _SEM_WAIT_S
+                if deadline is not None:
+                    quantum = min(
+                        quantum, max(deadline - time.monotonic(), 0.0)
+                    )
+                sem.acquire(True, quantum)
+            else:
+                time.sleep(_PARK_S)
+
+    # -- producer --------------------------------------------------------
+
+    @contextmanager
+    def _acquire_write(self, ticket: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        idx = ticket % self.spec.n_slots
+        meta = self._meta[idx]
+        meta[: self.spec.meta_fields] = 0
+        yield self._payload[idx], meta[: self.spec.meta_fields]
+        meta[-1] = ticket
+        self._seq[idx] = ticket + 1
+        self._head = ticket + 1
+        if self._items is not None:
+            self._items.release()
+
+    def try_push(
+        self, fill: Callable[[np.ndarray, np.ndarray], None]
+    ) -> bool:
+        """Push one slot if free: ``fill(payload_view, meta_view)``.
+
+        Returns ``False`` (without calling ``fill``) when the ring is
+        full.  Raises :exc:`RingClosed` when the ring is closed.
+        """
+        ticket = self._head
+        idx = ticket % self.spec.n_slots
+        if self._closed[0]:
+            raise RingClosed(f"ring {self.spec.name} is closed")
+        if self._seq[idx] != ticket:
+            return False
+        if self._space is not None:
+            self._space.acquire(False)
+        with self._acquire_write(ticket) as (payload, meta):
+            fill(payload, meta)
+        return True
+
+    def push(
+        self,
+        fill: Callable[[np.ndarray, np.ndarray], None],
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Blocking :meth:`try_push`; raises :exc:`RingClosed` /
+        :exc:`RingTimeout`."""
+        ticket = self._head
+        idx = ticket % self.spec.n_slots
+        if not self._wait(idx, ticket, self._space, timeout):
+            raise RingClosed(f"ring {self.spec.name} is closed")
+        with self._acquire_write(ticket) as (payload, meta):
+            fill(payload, meta)
+
+    # -- consumer --------------------------------------------------------
+
+    def _consume(
+        self, ticket: int, read: Callable[[np.ndarray, np.ndarray], Any]
+    ) -> Any:
+        idx = ticket % self.spec.n_slots
+        meta = self._meta[idx]
+        if int(meta[-1]) != ticket:
+            raise RingIntegrityError(
+                f"ring {self.spec.name}: slot {idx} committed with stamp "
+                f"{int(meta[-1])}, expected ticket {ticket}"
+            )
+        try:
+            return read(self._payload[idx], meta[: self.spec.meta_fields])
+        finally:
+            # Release even when the reader raises: the slot's bytes were
+            # fully committed, so the producer may reuse it.
+            self._seq[idx] = ticket + self.spec.n_slots
+            self._tail = ticket + 1
+            if self._space is not None:
+                self._space.release()
+
+    def try_pop(
+        self, read: Callable[[np.ndarray, np.ndarray], Any]
+    ) -> Tuple[bool, Any]:
+        """Pop one slot if available: ``(True, read(payload, meta))``.
+
+        Returns ``(False, None)`` when the ring is empty.  Raises
+        :exc:`RingClosed` only when closed *and* fully drained.
+        """
+        ticket = self._tail
+        idx = ticket % self.spec.n_slots
+        if self._seq[idx] != ticket + 1:
+            if self._closed[0] and self._seq[idx] != ticket + 1:
+                raise RingClosed(f"ring {self.spec.name} is closed and drained")
+            return False, None
+        if self._items is not None:
+            self._items.acquire(False)
+        return True, self._consume(ticket, read)
+
+    def pop(
+        self,
+        read: Callable[[np.ndarray, np.ndarray], Any],
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """Blocking :meth:`try_pop`; raises :exc:`RingClosed` /
+        :exc:`RingTimeout`."""
+        ticket = self._tail
+        idx = ticket % self.spec.n_slots
+        if not self._wait(idx, ticket + 1, self._items, timeout):
+            raise RingClosed(f"ring {self.spec.name} is closed and drained")
+        return self._consume(ticket, read)
+
+
+class VersionSlot:
+    """A shared ``(version, effective_from_cycle)`` broadcast cell.
+
+    The writer stores the effective cycle *before* the version, so a
+    reader that observes version ``v`` is guaranteed to read the
+    effective cycle that was published with it (x86 stores retire in
+    program order).  Monotonic versions only.
+    """
+
+    _FIELDS = 2
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self._cell = np.ndarray((self._FIELDS,), np.int64, buffer=shm.buf)
+
+    @classmethod
+    def create(cls) -> "VersionSlot":
+        shm = shared_memory.SharedMemory(create=True, size=8 * cls._FIELDS)
+        slot = cls(shm, owner=True)
+        slot._cell[:] = 0
+        return slot
+
+    @classmethod
+    def attach(cls, name: str) -> "VersionSlot":
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def write(self, version: int, from_cycle: int) -> None:
+        if version <= int(self._cell[0]):
+            raise ValueError(
+                f"model versions must be monotonic; have "
+                f"{int(self._cell[0])}, got {version}"
+            )
+        self._cell[1] = int(from_cycle)
+        self._cell[0] = int(version)
+
+    def read(self) -> Tuple[int, int]:
+        """Current ``(version, effective_from_cycle)``."""
+        version = int(self._cell[0])
+        return version, int(self._cell[1])
+
+    def detach(self) -> None:
+        self._cell = None  # type: ignore[assignment]
+        self._shm.close()
+
+    def unlink(self) -> None:
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass

@@ -324,3 +324,58 @@ def test_capability_flags():
     assert get_placer("random").uses_rng
     assert not get_placer("worst_noise").uses_rng
     assert not get_placer("qr_pivot").supports_screening
+
+
+class TestGroupLassoWarmStart:
+    """Opt-in warm starts: cached (lambda, warm_state) across places."""
+
+    def test_repeat_placement_hits_cache_exactly(self, ds):
+        warm = get_placer("group_lasso", warm_start=True)
+        cold = get_placer("group_lasso")
+        p_cold = cold.place(ds, 2, constraints=_constraints())
+        p1 = warm.place(ds, 2, constraints=_constraints())
+        p2 = warm.place(ds, 2, constraints=_constraints())
+        np.testing.assert_array_equal(p1.selected_cols, p_cold.selected_cols)
+        np.testing.assert_array_equal(p2.selected_cols, p1.selected_cols)
+        scopes1 = p1.meta["scopes"]
+        scopes2 = p2.meta["scopes"]
+        # First placement is cold; the repeat starts from each scope's
+        # cached lambda, which hits the budget in a single probe.
+        assert all(not s["warm_start"] for s in scopes1.values())
+        assert all(s["warm_start"] for s in scopes2.values())
+        assert all(s["probes"] == 1 for s in scopes2.values())
+        total1 = sum(s["probes"] for s in scopes1.values())
+        total2 = sum(s["probes"] for s in scopes2.values())
+        assert total2 <= total1
+
+    def test_perturbed_data_stays_correct_under_warm_start(self, ds):
+        """Warm starts change the probe path, never the selection rule:
+        a warm-started place on perturbed data equals a cold place."""
+        import dataclasses
+
+        rng = np.random.default_rng(4)
+        base = make_synthetic_dataset(seed=5, noise=0.002)
+        # Perturb voltages slightly (same structure, different bytes).
+        shifted = dataclasses.replace(
+            base, X=base.X + rng.normal(0, 1e-4, base.X.shape)
+        )
+        warm = get_placer("group_lasso", warm_start=True)
+        warm.place(ds, 2, constraints=_constraints())  # seed the cache
+        p_warm = warm.place(shifted, 2, constraints=_constraints())
+        p_cold = get_placer("group_lasso").place(
+            shifted, 2, constraints=_constraints()
+        )
+        np.testing.assert_array_equal(
+            p_warm.selected_cols, p_cold.selected_cols
+        )
+
+    def test_default_placer_is_stateless(self, ds):
+        cold = get_placer("group_lasso")
+        a = cold.place(ds, 2, constraints=_constraints())
+        b = cold.place(ds, 2, constraints=_constraints())
+        np.testing.assert_array_equal(a.selected_cols, b.selected_cols)
+        assert (
+            [s["probes"] for s in a.meta["scopes"].values()]
+            == [s["probes"] for s in b.meta["scopes"].values()]
+        )
+        assert all(not s["warm_start"] for s in b.meta["scopes"].values())

@@ -1,0 +1,270 @@
+"""Protocol and property tests for the shared-memory SPSC ring.
+
+The ring's correctness contract is the sequence-number commit protocol
+(`seq[i] = i` init, producer commits ``t+1``, consumer releases
+``t+n``); the wake semaphores are hints only.  These tests exercise the
+protocol directly: FIFO order through many wrap-arounds (hypothesis
+model check), full-ring backpressure, commit-stamp integrity, closed
+semantics, cross-thread blocking handoff, and the version-slot
+broadcast cell.
+"""
+
+import threading
+from collections import deque
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.ring import (
+    RingClosed,
+    RingIntegrityError,
+    RingTimeout,
+    SpscRing,
+    VersionSlot,
+)
+
+
+def _push_value(ring, value, tag):
+    """try_push a scalar payload + one meta tag; returns accepted?"""
+
+    def fill(payload, meta):
+        payload[:] = value
+        meta[0] = tag
+
+    return ring.try_push(fill)
+
+
+def _pop_value(ring):
+    """try_pop -> (ok, (payload_scalar, meta_tag))."""
+
+    def read(payload, meta):
+        return float(payload.flat[0]), int(meta[0])
+
+    return ring.try_pop(read)
+
+
+@pytest.fixture
+def ring():
+    r = SpscRing.create((2, 3), 4, meta_fields=3)
+    yield r
+    r.detach()
+    r.unlink()
+
+
+class TestFifoModel:
+    @given(
+        n_slots=st.integers(2, 5),
+        ops=st.lists(st.booleans(), max_size=60),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_matches_deque_model_through_wraparound(self, n_slots, ops):
+        """Random push/pop interleavings behave exactly like a bounded
+        FIFO; with len(ops) >> n_slots the indices wrap many times."""
+        ring = SpscRing.create((1,), n_slots, meta_fields=1)
+        try:
+            model = deque()
+            next_val = 0
+            for do_push in ops:
+                if do_push:
+                    ok = _push_value(ring, float(next_val), next_val)
+                    assert ok == (len(model) < n_slots)
+                    if ok:
+                        model.append(next_val)
+                        next_val += 1
+                else:
+                    ok, item = _pop_value(ring)
+                    assert ok == bool(model)
+                    if ok:
+                        want = model.popleft()
+                        assert item == (float(want), want)
+        finally:
+            ring.detach()
+            ring.unlink()
+
+    def test_payload_bytes_roundtrip_exactly(self, ring):
+        rng = np.random.default_rng(0)
+        for i in range(17):  # > 4 slots -> several wrap-arounds
+            sent = rng.standard_normal((2, 3))
+
+            def fill(payload, meta):
+                payload[:] = sent
+                meta[:] = (i, i + 1, i + 2)
+
+            assert ring.try_push(fill)
+
+            def read(payload, meta):
+                return payload.copy(), meta.copy()
+
+            ok, (got, meta) = ring.try_pop(read)
+            assert ok
+            assert np.array_equal(got, sent)
+            assert list(meta) == [i, i + 1, i + 2]
+
+
+class TestBackpressure:
+    def test_full_ring_rejects_push_until_pop(self, ring):
+        for i in range(4):
+            assert _push_value(ring, float(i), i)
+        assert not _push_value(ring, 99.0, 99)  # full: rejected, no fill
+        ok, item = _pop_value(ring)
+        assert ok and item == (0.0, 0)
+        assert _push_value(ring, 4.0, 4)  # freed slot is reusable
+        got = []
+        while True:
+            ok, item = _pop_value(ring)
+            if not ok:
+                break
+            got.append(item[1])
+        assert got == [1, 2, 3, 4]
+
+    def test_empty_ring_pop_returns_false(self, ring):
+        ok, item = _pop_value(ring)
+        assert not ok and item is None
+
+    def test_blocking_waits_time_out(self, ring):
+        with pytest.raises(RingTimeout):
+            ring.pop(lambda p, m: None, timeout=0.05)
+        for i in range(4):
+            assert _push_value(ring, float(i), i)
+        with pytest.raises(RingTimeout):
+            ring.push(lambda p, m: None, timeout=0.05)
+
+
+class TestSequenceIntegrity:
+    def test_bad_commit_stamp_raises(self, ring):
+        assert _push_value(ring, 1.0, 1)
+        ring._meta[0, -1] += 1  # corrupt the hidden commit stamp
+        with pytest.raises(RingIntegrityError):
+            _pop_value(ring)
+
+    def test_consumer_release_survives_reader_exception(self, ring):
+        assert _push_value(ring, 1.0, 1)
+
+        def boom(payload, meta):
+            raise ValueError("reader bug")
+
+        with pytest.raises(ValueError):
+            ring.try_pop(boom)
+        # The slot was still released: the producer can reuse it and
+        # the consumer ticket advanced past the poisoned slot.
+        for i in range(4):
+            assert _push_value(ring, float(i), i)
+        ok, item = _pop_value(ring)
+        assert ok and item == (0.0, 0)
+
+
+class TestClosed:
+    def test_closed_push_raises_immediately(self, ring):
+        ring.close()
+        with pytest.raises(RingClosed):
+            _push_value(ring, 1.0, 1)
+
+    def test_closed_pop_drains_then_raises(self, ring):
+        assert _push_value(ring, 1.0, 1)
+        assert _push_value(ring, 2.0, 2)
+        ring.close()
+        assert _pop_value(ring) == (True, (1.0, 1))
+        assert _pop_value(ring) == (True, (2.0, 2))
+        with pytest.raises(RingClosed):
+            _pop_value(ring)
+
+    def test_close_wakes_blocked_consumer(self, ring):
+        def closer():
+            ring.close()
+
+        t = threading.Timer(0.05, closer)
+        t.start()
+        try:
+            with pytest.raises(RingClosed):
+                ring.pop(lambda p, m: None, timeout=10.0)
+        finally:
+            t.join()
+
+
+class TestThreadedHandoff:
+    def test_producer_consumer_order_preserved(self):
+        ring = SpscRing.create((4,), 3, meta_fields=2)
+        n_items = 200
+        errors = []
+
+        def producer():
+            try:
+                for i in range(n_items):
+
+                    def fill(payload, meta, i=i):
+                        payload[:] = float(i)
+                        meta[0] = i
+                        meta[1] = 2 * i
+
+                    ring.push(fill, timeout=30.0)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        t = threading.Thread(target=producer)
+        t.start()
+        try:
+            got = []
+            for _ in range(n_items):
+
+                def read(payload, meta):
+                    assert np.all(payload == payload[0])
+                    return int(meta[0]), int(meta[1]), float(payload[0])
+
+                got.append(ring.pop(read, timeout=30.0))
+            assert got == [(i, 2 * i, float(i)) for i in range(n_items)]
+        finally:
+            t.join()
+            ring.detach()
+            ring.unlink()
+        assert not errors
+
+    def test_attach_shares_the_same_slots(self):
+        owner = SpscRing.create((1,), 2, meta_fields=1)
+        peer = SpscRing.attach(owner.spec)
+        try:
+            assert _push_value(owner, 7.0, 7)
+            assert _pop_value(peer) == (True, (7.0, 7))
+        finally:
+            peer.detach()
+            owner.detach()
+            owner.unlink()
+
+
+class TestCreateValidation:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            SpscRing.create((1,), 0)
+        with pytest.raises(ValueError):
+            # A 1-slot ring cannot distinguish committed from released.
+            SpscRing.create((1,), 1)
+        with pytest.raises(ValueError):
+            SpscRing.create((1,), 2, meta_fields=0)
+
+
+class TestVersionSlot:
+    def test_monotonic_versions_with_effective_cycle(self):
+        slot = VersionSlot.create()
+        try:
+            assert slot.read() == (0, 0)
+            slot.write(1, from_cycle=32)
+            assert slot.read() == (1, 32)
+            with pytest.raises(ValueError):
+                slot.write(1, from_cycle=64)  # not monotonic
+            slot.write(3, from_cycle=96)  # gaps are fine
+            assert slot.read() == (3, 96)
+        finally:
+            slot.detach()
+            slot.unlink()
+
+    def test_attached_reader_sees_writes(self):
+        slot = VersionSlot.create()
+        reader = VersionSlot.attach(slot.name)
+        try:
+            slot.write(1, from_cycle=10)
+            assert reader.read() == (1, 10)
+        finally:
+            reader.detach()
+            slot.detach()
+            slot.unlink()
