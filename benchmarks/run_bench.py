@@ -51,16 +51,37 @@ were produced by::
     python benchmarks/run_bench.py --tournament \
         --out results/leaderboard.json --markdown results/leaderboard.md
 
-CI runs four smoke modes::
+**Surrogate mode** (``--surrogate``) benchmarks the learned worst-case
+droop surrogate (:mod:`repro.surrogate`) via
+:func:`repro.experiments.surrogate_study.run_surrogate_study`: a
+dense-grid throughput sweep (screening scenarios/minute vs the exact
+batched transient engine, with exact verification of the predicted
+top-k against their conformal guard bounds) and a small-grid recall
+sweep (exact-evaluating the whole pool to measure true top-k recall
+and worst-case capture).  Exits nonzero on a guard-bound violation, a
+missed worst case, or — full profile only — screening below the 50x
+speedup target.  The committed ``BENCH_surrogate.json`` was produced
+by::
+
+    python benchmarks/run_bench.py --surrogate --out BENCH_surrogate.json
+
+CI runs five smoke modes::
 
     python benchmarks/run_bench.py --quick --check-convergence
     python benchmarks/run_bench.py --datagen --quick
     python benchmarks/run_bench.py --monitor --quick
     python benchmarks/run_bench.py --tournament --quick
+    python benchmarks/run_bench.py --surrogate --quick
 
-the latter three exit nonzero on an optimized-vs-reference mismatch, a
-monitor identity/failover/throughput failure, or a placer that failed
-to produce a placement.
+the latter four exit nonzero on an optimized-vs-reference mismatch, a
+monitor identity/failover/throughput failure, a placer that failed
+to produce a placement, or a surrogate bound violation / missed worst
+case.
+
+Every mode funnels through one :func:`emit_bench` tail that stamps the
+``repro.bench/v1`` schema, validates the report
+(:func:`repro.obs.benchjson.validate_bench`), writes it when ``--out``
+is given, and maps outstanding problems to the exit code.
 
 Profile selection for sweep mode follows the benchmark harness:
 ``REPRO_PROFILE=paper`` runs at full paper scale, the default ``fast``
@@ -169,23 +190,55 @@ TOURNAMENT_QUICK_SETUP = ExperimentSetup(
 )
 
 
-def _write_report(report: Dict, path: str) -> None:
-    """Stamp, validate and write one bench report.
+def emit_bench(
+    report: Dict,
+    out: Optional[str] = None,
+    problems: Optional[List[Dict]] = None,
+    fail_on_problems: bool = True,
+    problem_label: str = "problem",
+) -> int:
+    """Shared tail of every benchmark mode; returns the exit code.
 
-    Refuses to write a report that fails the shared
-    :mod:`repro.obs.benchjson` validation — malformed baselines would
-    poison every later ``repro.obs.report`` diff against them.
+    Stamps and validates ``report`` against :mod:`repro.obs.benchjson`
+    *unconditionally* (even when no ``--out`` path was given, so CI
+    smoke runs catch a mode that drifts from the schema), writes it
+    when ``out`` is set, prints the problem list, and maps problems to
+    exit code 1 when ``fail_on_problems`` — one code path per mode, so
+    a new mode cannot skip validation.
+
+    Parameters
+    ----------
+    report:
+        The mode's JSON-ready report.
+    out:
+        Optional path to write the validated report to.
+    problems:
+        The list that gates the exit code; defaults to
+        ``report["problems"]``.
+    fail_on_problems:
+        Return 1 when problems are present (sweep mode passes
+        ``--check-convergence`` here).
+    problem_label:
+        Noun used when printing the problem count.
     """
     stamp_bench(report)
     issues = validate_bench(report)
     if issues:
-        raise SystemExit(
-            "refusing to write invalid bench report: " + "; ".join(issues)
-        )
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"report written to {path}")
+        raise SystemExit("invalid bench report: " + "; ".join(issues))
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {out}")
+    if problems is None:
+        problems = report.get("problems", [])
+    if problems:
+        print(f"{len(problems)} {problem_label}(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        if fail_on_problems:
+            return 1
+    return 0
 
 
 def _solver_problems(points: Sequence[SweepPoint]) -> List[Dict]:
@@ -935,6 +988,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "placer fails",
     )
     parser.add_argument(
+        "--surrogate",
+        action="store_true",
+        help="benchmark the learned droop surrogate: screening "
+        "throughput vs the exact engine on a dense grid, plus exact "
+        "top-k recall on a small grid; exits nonzero on a guard-bound "
+        "violation, a missed worst case, or (full profile) screening "
+        "below the 50x target",
+    )
+    parser.add_argument(
         "--serve",
         action="store_true",
         help="benchmark the sharded shared-memory serving fleet: "
@@ -953,14 +1015,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.n_jobs < 1:
         parser.error("--n-jobs must be >= 1")
     if sum(
-        (args.datagen, args.monitor, args.screen, args.tournament, args.serve)
+        (
+            args.datagen, args.monitor, args.screen, args.tournament,
+            args.serve, args.surrogate,
+        )
     ) > 1:
         parser.error(
-            "--datagen, --monitor, --screen, --tournament and --serve "
-            "are mutually exclusive"
+            "--datagen, --monitor, --screen, --tournament, --serve and "
+            "--surrogate are mutually exclusive"
         )
     if args.markdown and not args.tournament:
         parser.error("--markdown requires --tournament")
+
+    if args.surrogate:
+        from repro.experiments.surrogate_study import run_surrogate_study
+
+        report = run_surrogate_study(quick=args.quick)
+        tp = report["throughput"]
+        rc = report["recall"]
+        print(
+            f"surrogate profile: {report['profile']}  model: {tp['model']}"
+        )
+        print(
+            f"throughput [{tp['profile']}]: screen "
+            f"{tp['screen_scenarios_per_min']:,.0f}/min vs exact "
+            f"{tp['exact_scenarios_per_min']:,.0f}/min  "
+            f"speedup {tp['speedup']:.1f}x  "
+            f"guard_violations={tp['guard_violations']}  "
+            f"nominal_coverage={tp['nominal_coverage']:.3f}"
+        )
+        print(
+            f"recall [{rc['profile']}]: recall@{rc['top_k']} "
+            f"{rc['recall_at_k']:.2f}  worst_case_hit="
+            f"{bool(rc['worst_case_hit'])}  "
+            f"guard_violations={rc['guard_violations']}  "
+            f"rank_agreement={rc['rank_agreement']:.2f}"
+        )
+        return emit_bench(report, args.out)
 
     if args.serve:
         from serve_bench import run_serve
@@ -1003,14 +1094,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"note: scaling target not gated (cpu_count="
                 f"{report['cpu_count']} < {4}); curve recorded as data"
             )
-        if args.out:
-            _write_report(report, args.out)
-        if report["problems"]:
-            print(f"{len(report['problems'])} problem(s):")
-            for problem in report["problems"]:
-                print(f"  {problem}")
-            return 1
-        return 0
+        return emit_bench(report, args.out)
 
     if args.tournament:
         from repro.experiments.tournament import render_leaderboard_markdown
@@ -1021,18 +1105,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"datagen: {report['datagen_s']:.2f}s  "
             f"tournament: {report['tournament_s']:.2f}s"
         )
-        if args.out:
-            _write_report(report, args.out)
         if args.markdown:
             with open(args.markdown, "w", encoding="utf-8") as fh:
                 fh.write(render_leaderboard_markdown(result))
             print(f"markdown leaderboard written to {args.markdown}")
-        if report["problems"]:
-            print(f"{len(report['problems'])} problem(s):")
-            for problem in report["problems"]:
-                print(f"  {problem}")
-            return 1
-        return 0
+        return emit_bench(report, args.out)
 
     if args.screen:
         report = run_screen(quick=args.quick)
@@ -1061,14 +1138,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"counters: {report['counters']}  uncaught KKT: "
             f"{cmp_['uncaught_kkt_violations'] + large['uncaught_kkt_violations']}"
         )
-        if args.out:
-            _write_report(report, args.out)
-        if report["problems"]:
-            print(f"{len(report['problems'])} problem(s):")
-            for problem in report["problems"]:
-                print(f"  {problem}")
-            return 1
-        return 0
+        return emit_bench(report, args.out)
 
     if args.monitor:
         report = run_monitor(quick=args.quick)
@@ -1096,14 +1166,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"precomputed_fallback={fo['is_precomputed_fallback']} "
             f"exact={fo['compiled_exact']}"
         )
-        if args.out:
-            _write_report(report, args.out)
-        if report["problems"]:
-            print(f"{len(report['problems'])} problem(s):")
-            for problem in report["problems"]:
-                print(f"  {problem}")
-            return 1
-        return 0
+        return emit_bench(report, args.out)
 
     if args.datagen:
         report = run_datagen(quick=args.quick, n_jobs=args.n_jobs)
@@ -1134,14 +1197,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"{len(worker.get('benchmarks', []))} benchmarks, "
                     f"solve p99 {solve.get('p99_s', 0.0) * 1e3:.1f} ms"
                 )
-        if args.out:
-            _write_report(report, args.out)
-        if report["problems"]:
-            print(f"{len(report['problems'])} problem(s):")
-            for problem in report["problems"]:
-                print(f"  {problem}")
-            return 1
-        return 0
+        return emit_bench(report, args.out)
 
     budgets = QUICK_BUDGETS if args.quick else FULL_BUDGETS
     report = run(budgets, n_jobs=args.n_jobs, skip_baseline=args.quick)
@@ -1162,17 +1218,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"->{row['relative_error_engine']:.6f}"
             )
 
-    if args.out:
-        _write_report(report, args.out)
-
-    problems = report["solver_problems"]
-    if problems:
-        print(f"{len(problems)} solver problem(s):")
-        for problem in problems:
-            print(f"  {problem}")
-    if args.check_convergence and problems:
-        return 1
-    return 0
+    return emit_bench(
+        report,
+        args.out,
+        problems=report["solver_problems"],
+        fail_on_problems=args.check_convergence,
+        problem_label="solver problem",
+    )
 
 
 if __name__ == "__main__":

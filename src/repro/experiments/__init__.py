@@ -1,5 +1,9 @@
 """Experiment harness: data generation, per-table/figure reproductions,
-ablations, and the CLI runner (``python -m repro.experiments.runner``)."""
+ablations, and the CLI runner (``python -m repro.experiments.runner``).
+
+Studies with heavier dependency graphs stay out of this namespace to
+avoid import cycles — use :mod:`repro.experiments.tournament` and
+:mod:`repro.experiments.surrogate_study` directly."""
 
 from repro.experiments.config import (
     FAST_SETUP,
@@ -17,7 +21,6 @@ from repro.experiments.data_generation import (
     generate_maps,
     simulate_benchmark_trace,
 )
-
 __all__ = [
     "FAST_SETUP",
     "PAPER_SETUP",

@@ -34,7 +34,10 @@ __all__ = [
 BENCH_SCHEMA = "repro.bench/v1"
 
 #: The benchmark modes ``run_bench.py`` produces.
-MODES = ("sweep", "datagen", "monitor", "screen", "tournament", "serve")
+MODES = (
+    "sweep", "datagen", "monitor", "screen", "tournament", "serve",
+    "surrogate",
+)
 
 #: Fields every report of a mode must carry to be considered valid.
 _REQUIRED_FIELDS = {
@@ -51,6 +54,9 @@ _REQUIRED_FIELDS = {
     "serve": (
         "cpu_count", "reference", "points", "hot_swap",
         "bit_identical", "counters", "problems",
+    ),
+    "surrogate": (
+        "throughput", "recall", "counters", "problems",
     ),
 }
 
@@ -221,6 +227,30 @@ def normalize_bench(doc: Dict[str, Any]) -> Dict[str, Any]:
                 value = nominal.get("relative_error")
                 if isinstance(value, (int, float)):
                     scalars[f"nominal_error{tag}"] = float(value)
+        scalars["problems"] = float(len(doc.get("problems", [])))
+    elif mode == "surrogate":
+        counters.update(doc.get("counters", {}))
+        throughput = doc.get("throughput", {})
+        if isinstance(throughput, dict):
+            _scalar(
+                scalars, throughput,
+                "screen_scenarios_per_min", "exact_scenarios_per_min",
+                "speedup", "n_pool", "top_k",
+                "guard_violations", "nominal_violations",
+                "rank_agreement", "fit_error_rms",
+                "nominal_coverage", "guard_coverage",
+            )
+        recall = doc.get("recall", {})
+        if isinstance(recall, dict):
+            # Prefixed so the recall sweep's figures cannot collide
+            # with the throughput sweep's in the flat scalar namespace.
+            sub: Dict[str, float] = {}
+            _scalar(
+                sub, recall,
+                "recall_at_k", "worst_case_hit", "n_pool", "top_k",
+                "guard_violations", "nominal_coverage",
+            )
+            scalars.update({f"recall.{k}": v for k, v in sub.items()})
         scalars["problems"] = float(len(doc.get("problems", [])))
     elif mode == "screen":
         counters.update(doc.get("counters", {}))

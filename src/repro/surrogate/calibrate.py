@@ -1,0 +1,222 @@
+"""Split-conformal error bounds for the droop surrogate.
+
+The surrogate's point predictions are only useful for screening if
+their error is *quantified*; this module wraps any fitted regressor in
+distribution-free split-conformal intervals:
+
+* fit on one scenario split, compute *scaled* absolute residuals
+  ``s = |y - y_hat| / max(y_hat, floor)`` on a disjoint *calibration*
+  split — scaling by the prediction handles the heteroscedasticity of
+  droop errors (bigger droops err bigger), which matters precisely at
+  the screened tail where the sweep selects for extreme predictions,
+* the two-sided ``(1 - alpha)`` bound is the finite-sample-corrected
+  score quantile ``q_hat = Quantile(s, ceil((n+1)(1-alpha)) / n)`` —
+  per block when the block has enough calibration rows, pooled
+  otherwise — giving the band ``y_hat ± q_hat * max(y_hat, floor)``,
+* for exchangeable scenarios, ``P(y in band) >= 1 - alpha`` marginally
+  (Vovk et al.; split-conformal holds for any score function).
+
+Marginal coverage is a *statistical* guarantee — roughly ``alpha`` of
+individual block droops are expected outside the nominal band.  The
+sweep's trust decision therefore uses the wider **guard** bound (the
+maximum calibration residual times a safety margin): every exact-
+verified droop is required to fall inside it, and the test battery +
+benchmark gate enforce zero guard violations rather than asserting the
+nominal band never misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+__all__ = [
+    "ConformalCalibration",
+    "conformal_calibrate",
+    "empirical_coverage",
+]
+
+#: Calibration rows a block needs before it earns a per-block quantile;
+#: blocks below this fall back to the pooled quantile.
+MIN_BLOCK_CALIBRATION = 20
+
+
+def _conformal_quantile(abs_residuals: np.ndarray, alpha: float) -> float:
+    """Finite-sample-corrected ``(1 - alpha)`` residual quantile."""
+    n = abs_residuals.shape[0]
+    rank = int(np.ceil((n + 1) * (1.0 - alpha)))
+    if rank > n:
+        # Too few calibration points for the requested level: the
+        # conformal interval is vacuous; fall back to the max residual
+        # (still a valid, if loose, score).
+        return float(abs_residuals.max())
+    return float(np.sort(abs_residuals)[rank - 1])
+
+
+@dataclass
+class ConformalCalibration:
+    """Per-block scaled-conformal quantiles plus the guard bound.
+
+    All bands are multiplicative in the prediction:
+    ``pred ± q * max(pred, scale_floor)``.
+
+    Attributes
+    ----------
+    alpha:
+        Nominal miscoverage level of the per-block bounds.
+    block_q:
+        ``(n_blocks,)`` scaled-score quantiles, unitless (pooled
+        fallback already substituted where a block had too few rows).
+    pooled_q:
+        The pooled ``(1 - alpha)`` score quantile over all rows.
+    guard_q:
+        Max calibration score times ``guard_margin`` — the conservative
+        bound the sweep's verification gate checks.
+    guard_margin:
+        The safety factor baked into ``guard_q``.
+    scale_floor:
+        Lower clamp (V) on the per-row scale, so tiny or negative
+        predictions still get a sane band width.
+    n_calibration:
+        Calibration rows used.
+    per_block_counts:
+        Calibration rows per block.
+    """
+
+    alpha: float
+    block_q: np.ndarray
+    pooled_q: float
+    guard_q: float
+    guard_margin: float
+    scale_floor: float
+    n_calibration: int
+    per_block_counts: np.ndarray
+
+    def _scale(self, pred: np.ndarray) -> np.ndarray:
+        return np.maximum(pred, self.scale_floor)
+
+    def lower(self, pred: np.ndarray, block_ids: np.ndarray) -> np.ndarray:
+        """Nominal lower bound of each row's droop."""
+        return pred - self.block_q[block_ids] * self._scale(pred)
+
+    def upper(self, pred: np.ndarray, block_ids: np.ndarray) -> np.ndarray:
+        """Nominal upper bound of each row's droop."""
+        return pred + self.block_q[block_ids] * self._scale(pred)
+
+    def guard_upper(self, pred: np.ndarray) -> np.ndarray:
+        """Guard (worst-calibration-score) upper bound."""
+        return pred + self.guard_q * self._scale(pred)
+
+    def guard_lower(self, pred: np.ndarray) -> np.ndarray:
+        """Guard lower bound."""
+        return pred - self.guard_q * self._scale(pred)
+
+    def to_dict(self) -> Dict:
+        """JSON-ready summary (golden fixtures, bench reports)."""
+        return {
+            "alpha": self.alpha,
+            "block_q": [float(q) for q in self.block_q],
+            "pooled_q": self.pooled_q,
+            "guard_q": self.guard_q,
+            "guard_margin": self.guard_margin,
+            "scale_floor": self.scale_floor,
+            "n_calibration": self.n_calibration,
+        }
+
+
+def conformal_calibrate(
+    pred: np.ndarray,
+    actual: np.ndarray,
+    block_ids: np.ndarray,
+    n_blocks: int,
+    alpha: float = 0.1,
+    guard_margin: float = 1.25,
+) -> ConformalCalibration:
+    """Build conformal bounds from held-out calibration predictions.
+
+    Parameters
+    ----------
+    pred, actual:
+        Surrogate predictions and exact droops on the calibration
+        split, one row per (scenario, block).
+    block_ids:
+        Block index of every row.
+    n_blocks:
+        Total block count (blocks with no rows get the pooled quantile).
+    alpha:
+        Nominal miscoverage of the per-block bounds, in (0, 1).
+    guard_margin:
+        Multiplier on the max calibration score for the guard bound.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    if guard_margin < 1.0:
+        raise ValueError(f"guard_margin must be >= 1, got {guard_margin}")
+    pred = np.asarray(pred, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    block_ids = np.asarray(block_ids, dtype=np.int64)
+    if pred.shape != actual.shape or pred.shape != block_ids.shape:
+        raise ValueError("pred, actual and block_ids must share one shape")
+    if pred.shape[0] == 0:
+        raise ValueError("cannot calibrate on an empty split")
+
+    # The scale floor keeps the multiplicative band sane where the
+    # surrogate predicts a tiny (or negative) droop: the 25th
+    # percentile of observed droops is a robust "small but real" level.
+    scale_floor = float(np.quantile(np.abs(actual), 0.25))
+    if scale_floor <= 0.0:
+        scale_floor = max(float(np.abs(actual).max()), 1e-9)
+    scores = np.abs(actual - pred) / np.maximum(pred, scale_floor)
+    pooled_q = _conformal_quantile(scores, alpha)
+    counts = np.bincount(block_ids, minlength=n_blocks)
+    block_q = np.full(n_blocks, pooled_q)
+    for b in range(n_blocks):
+        if counts[b] >= MIN_BLOCK_CALIBRATION:
+            block_q[b] = _conformal_quantile(scores[block_ids == b], alpha)
+    return ConformalCalibration(
+        alpha=float(alpha),
+        block_q=block_q,
+        pooled_q=pooled_q,
+        guard_q=float(scores.max()) * float(guard_margin),
+        guard_margin=float(guard_margin),
+        scale_floor=scale_floor,
+        n_calibration=int(pred.shape[0]),
+        per_block_counts=counts,
+    )
+
+
+def empirical_coverage(
+    calibration: ConformalCalibration,
+    pred: np.ndarray,
+    actual: np.ndarray,
+    block_ids: np.ndarray,
+) -> Dict[str, float]:
+    """Measured coverage of the bounds on held-out rows.
+
+    Returns the fraction of rows inside the nominal per-block band and
+    inside the guard band, plus the count checked.  On exchangeable
+    held-out scenarios the nominal coverage concentrates around
+    ``>= 1 - alpha``; the guard coverage should be ~1.
+    """
+    pred = np.asarray(pred, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    block_ids = np.asarray(block_ids, dtype=np.int64)
+    if pred.shape[0] == 0:
+        raise ValueError("cannot measure coverage on an empty split")
+    lo = calibration.lower(pred, block_ids)
+    hi = calibration.upper(pred, block_ids)
+    nominal = float(np.mean((actual >= lo) & (actual <= hi)))
+    guard = float(
+        np.mean(
+            (actual >= calibration.guard_lower(pred))
+            & (actual <= calibration.guard_upper(pred))
+        )
+    )
+    return {
+        "nominal_coverage": nominal,
+        "guard_coverage": guard,
+        "target_coverage": 1.0 - calibration.alpha,
+        "n_rows": float(pred.shape[0]),
+    }

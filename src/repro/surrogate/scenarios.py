@@ -1,0 +1,333 @@
+"""Scenario spaces for surrogate screening and exact verification.
+
+A *scenario* is one "what if" the screening pipeline can ask about:
+a workload realization (benchmark, activity seed, burstiness knobs)
+running on one *grid variant* (manufacturing variation of the mesh,
+pad/package drift).  Scenarios are cheap to describe and cheap to
+featurize — the whole point of the surrogate is that only a screened
+top-k of them ever reaches the exact transient engine.
+
+Exact evaluation batches scenarios **per grid variant**: every variant
+is factorized once and all of its scenarios ride one
+:meth:`~repro.powergrid.transient.TransientSolver.simulate_many`
+lockstep solve, so verifying k scenarios costs one multi-RHS
+integration per distinct variant, not k sequential runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.config import DataConfig
+from repro.experiments.data_generation import ChipModel
+from repro.obs import get_registry, span
+from repro.powergrid.grid import PowerGrid
+from repro.powergrid.pads import Pad
+from repro.powergrid.transient import TransientSolver
+from repro.powergrid.variation import (
+    with_cap_variation,
+    with_resistance_variation,
+)
+from repro.utils.rng import make_rng, seed_for
+from repro.workload.activity import generate_activity
+from repro.workload.benchmarks import get_benchmark
+from repro.workload.current_map import TraceLoad, TraceLoadBatch
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "GridVariant",
+    "Scenario",
+    "ScenarioSpace",
+    "default_variants",
+    "scenario_power",
+    "build_variant_solver",
+    "exact_worst_droop",
+]
+
+
+@dataclass(frozen=True)
+class GridVariant:
+    """One perturbed realization of the power delivery network.
+
+    Attributes
+    ----------
+    name:
+        Stable label (used in seeds and reports).
+    resistance_sigma:
+        Lognormal branch-resistance spread applied to the mesh.
+    cap_sigma:
+        Lognormal per-node decap spread.
+    pad_resistance_scale, pad_inductance_scale:
+        Multipliers on every pad's package parasitics (package corner /
+        socket aging).
+    seed:
+        Variation seed; ``resistance_sigma``/``cap_sigma`` draws derive
+        from it, so a variant is fully deterministic.
+    """
+
+    name: str = "nominal"
+    resistance_sigma: float = 0.0
+    cap_sigma: float = 0.0
+    pad_resistance_scale: float = 1.0
+    pad_inductance_scale: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.resistance_sigma < 0 or self.cap_sigma < 0:
+            raise ValueError("variation sigmas must be >= 0")
+        check_positive(self.pad_resistance_scale, "pad_resistance_scale")
+        check_positive(self.pad_inductance_scale, "pad_inductance_scale")
+
+    def apply(self, grid: PowerGrid) -> PowerGrid:
+        """Realize this variant from the nominal ``grid`` (never mutated)."""
+        out = grid
+        if self.resistance_sigma > 0:
+            out = with_resistance_variation(
+                out, self.resistance_sigma, rng=seed_for(f"{self.name}-r-{self.seed}")
+            )
+        if self.cap_sigma > 0:
+            out = with_cap_variation(
+                out, self.cap_sigma, rng=seed_for(f"{self.name}-c-{self.seed}")
+            )
+        if self.pad_resistance_scale != 1.0 or self.pad_inductance_scale != 1.0:
+            pads = [
+                Pad(
+                    node=p.node,
+                    resistance=p.resistance * self.pad_resistance_scale,
+                    inductance=p.inductance * self.pad_inductance_scale,
+                )
+                for p in out.pads
+            ]
+            if out is grid:
+                out = with_resistance_variation(out, 0.0)  # structural copy
+            out.pads = pads
+        return out
+
+
+def default_variants(
+    n_variation: int = 2,
+    resistance_sigma: float = 0.08,
+    cap_sigma: float = 0.15,
+    pad_scales: Sequence[float] = (0.8, 1.25),
+) -> Tuple[GridVariant, ...]:
+    """The stock variant pool: nominal + variation draws + pad corners."""
+    variants: List[GridVariant] = [GridVariant()]
+    for i in range(n_variation):
+        variants.append(
+            GridVariant(
+                name=f"rvar{i}",
+                resistance_sigma=resistance_sigma,
+                cap_sigma=cap_sigma,
+                seed=i,
+            )
+        )
+    for scale in pad_scales:
+        variants.append(
+            GridVariant(
+                name=f"pad{scale:g}",
+                pad_resistance_scale=scale,
+                pad_inductance_scale=scale,
+            )
+        )
+    return tuple(variants)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One screened case: a workload realization on a grid variant."""
+
+    benchmark: str
+    seed: int
+    variant: int = 0
+    burst_boost: float = 0.85
+    core_coupling: float = 0.6
+    phase_concentration: float = 12.0
+
+    def key(self) -> str:
+        """Stable identity used for activity seeding and reports."""
+        return (
+            f"{self.benchmark}-s{self.seed}-v{self.variant}"
+            f"-b{self.burst_boost:.4f}-c{self.core_coupling:.4f}"
+            f"-p{self.phase_concentration:.4f}"
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpace:
+    """A distribution over scenarios, sampled deterministically.
+
+    Workload knobs are drawn uniformly from the configured ranges and
+    the variant index uniformly from the variant pool, so surrogate
+    training scenarios and screening-pool scenarios are exchangeable —
+    the assumption split-conformal calibration rests on.
+    """
+
+    benchmarks: Tuple[str, ...]
+    variants: Tuple[GridVariant, ...] = field(default_factory=default_variants)
+    burst_range: Tuple[float, float] = (0.5, 1.0)
+    coupling_range: Tuple[float, float] = (0.3, 0.9)
+    concentration_range: Tuple[float, float] = (6.0, 18.0)
+
+    def __post_init__(self) -> None:
+        if not self.benchmarks:
+            raise ValueError("ScenarioSpace needs at least one benchmark")
+        if not self.variants:
+            raise ValueError("ScenarioSpace needs at least one variant")
+        for name in self.benchmarks:
+            get_benchmark(name)  # fail fast on typos
+
+    def sample(self, n: int, rng) -> List[Scenario]:
+        """Draw ``n`` scenarios; identical for identical ``rng`` seeds."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        gen = make_rng(rng)
+        bench_idx = gen.integers(0, len(self.benchmarks), size=n)
+        variant_idx = gen.integers(0, len(self.variants), size=n)
+        seeds = gen.integers(0, 2**31 - 1, size=n)
+        bursts = gen.uniform(*self.burst_range, size=n)
+        couplings = gen.uniform(*self.coupling_range, size=n)
+        concentrations = gen.uniform(*self.concentration_range, size=n)
+        return [
+            Scenario(
+                benchmark=self.benchmarks[int(bench_idx[i])],
+                seed=int(seeds[i]),
+                variant=int(variant_idx[i]),
+                burst_boost=float(round(bursts[i], 6)),
+                core_coupling=float(round(couplings[i], 6)),
+                phase_concentration=float(round(concentrations[i], 6)),
+            )
+            for i in range(n)
+        ]
+
+
+def scenario_power(
+    chip: ChipModel, scenario: Scenario, data: DataConfig
+) -> np.ndarray:
+    """Per-block power trace ``(warmup + steps, n_blocks)`` of a scenario.
+
+    This is the *shared* front half of both paths: the surrogate
+    featurizes it directly, the exact engine turns it into node
+    currents and integrates.  No transient solve happens here.
+    """
+    spec = get_benchmark(scenario.benchmark)
+    total_steps = data.warmup_steps + data.steps_per_benchmark
+    traces = generate_activity(
+        chip.floorplan,
+        spec,
+        n_steps=total_steps,
+        rng=seed_for(f"scenario-{scenario.key()}"),
+        ramp_steps=data.ramp_steps,
+        block_jitter=data.block_jitter,
+        core_coupling=scenario.core_coupling,
+        gating_scope=data.gating_scope,
+        phase_concentration=scenario.phase_concentration,
+        burst_boost=scenario.burst_boost,
+    )
+    return chip.power_model.block_power(traces).power
+
+
+def build_variant_solver(
+    chip: ChipModel, variant: GridVariant
+) -> TransientSolver:
+    """Factorize the transient solver of one grid variant."""
+    return TransientSolver(variant.apply(chip.grid), chip.config.timestep)
+
+
+def _block_slices(chip: ChipModel) -> List[np.ndarray]:
+    """Grid-node index arrays per floorplan block (floorplan order)."""
+    return [
+        np.asarray(chip.classification.block_nodes[b.name], dtype=np.int64)
+        for b in chip.floorplan.blocks
+    ]
+
+
+def exact_worst_droop(
+    chip: ChipModel,
+    scenarios: Sequence[Scenario],
+    variants: Sequence[GridVariant],
+    data: DataConfig,
+    powers: Optional[Sequence[np.ndarray]] = None,
+    solvers: Optional[Dict[int, TransientSolver]] = None,
+) -> np.ndarray:
+    """Exact per-block worst-case droop of every scenario, in volts.
+
+    Scenarios are grouped by grid variant; each group is integrated in
+    lockstep with one :meth:`simulate_many` call against that variant's
+    factorization.  The droop of block ``b`` is
+    ``vdd - min_t min_{n in nodes(b)} v_n(t)`` over the recorded steps.
+
+    Parameters
+    ----------
+    chip:
+        Nominal chip model (floorplan/power model/classification).
+    scenarios:
+        What to evaluate.
+    variants:
+        The variant pool the scenarios index into.
+    data:
+        Step geometry (steps, warmup, record cadence) shared by all.
+    powers:
+        Optional precomputed :func:`scenario_power` traces (one per
+        scenario, same order) — pass them when the caller already paid
+        for featurization so the workload front-end is not re-run.
+    solvers:
+        Optional cache of variant index -> factorized solver; missing
+        entries are built and added (callers can reuse across calls).
+
+    Returns
+    -------
+    ``(n_scenarios, n_blocks)`` float64 droops.
+    """
+    registry = get_registry()
+    blocks = _block_slices(chip)
+    vdd = chip.config.vdd
+    droops = np.empty((len(scenarios), len(blocks)))
+    if solvers is None:
+        solvers = {}
+
+    by_variant: Dict[int, List[int]] = {}
+    for idx, sc in enumerate(scenarios):
+        if not 0 <= sc.variant < len(variants):
+            raise ValueError(
+                f"scenario variant {sc.variant} outside pool of {len(variants)}"
+            )
+        by_variant.setdefault(sc.variant, []).append(idx)
+
+    for variant_idx, members in sorted(by_variant.items()):
+        if variant_idx not in solvers:
+            with span("surrogate.factorize", variant=variants[variant_idx].name):
+                solvers[variant_idx] = build_variant_solver(
+                    chip, variants[variant_idx]
+                )
+        solver = solvers[variant_idx]
+        loads = TraceLoadBatch(
+            [
+                TraceLoad(
+                    chip.mapper.distribution,
+                    scenario_power(chip, scenarios[i], data)
+                    if powers is None
+                    else powers[i],
+                    chip.config.vdd,
+                )
+                for i in members
+            ]
+        )
+        with span(
+            "surrogate.exact_batch",
+            variant=variants[variant_idx].name,
+            n_scenarios=len(members),
+        ):
+            results = solver.simulate_many(
+                loads,
+                n_steps=data.steps_per_benchmark,
+                record_every=data.record_every,
+                warmup_steps=data.warmup_steps,
+            )
+        for i, result in zip(members, results):
+            mins = result.voltages.min(axis=0)
+            droops[i] = [vdd - mins[nodes].min() for nodes in blocks]
+        registry.counter("surrogate.exact_scenarios").inc(len(members))
+    return droops

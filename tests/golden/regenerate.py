@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Regenerate the golden regression fixtures.
 
-Two fixtures, both fully deterministic:
+Three fixtures, all fully deterministic:
 
 * ``golden_monitor.json`` — synthetic dataset, fitted placement, a
   monitored stream with real alarm episodes, and a fault-injection run
@@ -13,6 +13,12 @@ Two fixtures, both fully deterministic:
   (:func:`build_tournament_golden`; replayed by
   ``tests/test_tournament.py``).  Wall-clock fields (``place_s``) are
   recorded but exempt from comparison.
+* ``golden_surrogate.json`` — one fast-profile surrogate sweep (train,
+  conformal calibration, pool screening, exact top-k verification and
+  whole-pool exact evaluation) pinning predictions, bounds, the
+  screened ranking, and recall (:func:`build_surrogate_golden`;
+  replayed by ``tests/test_surrogate.py``).  Wall-clock is not
+  recorded in the fixture at all.
 
 Comparison happens under the tolerance policy in
 ``tests/golden/README.md``.  Regenerate (only after an intentional
@@ -37,6 +43,22 @@ import numpy as np
 
 GOLDEN_PATH = os.path.join(_HERE, "golden_monitor.json")
 TOURNAMENT_GOLDEN_PATH = os.path.join(_HERE, "golden_leaderboard.json")
+SURROGATE_GOLDEN_PATH = os.path.join(_HERE, "golden_surrogate.json")
+
+#: Surrogate sweep constants — deliberately spelled out here (not
+#: imported from the bench profiles) so retuning a benchmark profile
+#: cannot silently move the fixture.  Changing any is a fixture change.
+SURROGATE_CHIP = dict(
+    core_cols=2, core_rows=1, template="small",
+    grid_pitch=0.2, pad_pitch=1.5,
+)
+SURROGATE_DATA = dict(
+    benchmarks=("x264", "canneal"),
+    steps_per_benchmark=120, warmup_steps=24, record_every=2, seed=11,
+)
+SURROGATE_SWEEP = dict(
+    n_train=48, n_pool=80, top_k=20, seed=5, exact_pool=True,
+)
 
 #: Tournament scenario constants — changing any is a fixture change.
 TOURNAMENT_N_VARIATION = 2
@@ -171,6 +193,70 @@ def build_tournament_golden(data=None) -> dict:
     return run_tournament(data, config).leaderboard()
 
 
+def build_surrogate_golden() -> dict:
+    """Run the pinned fast-profile surrogate sweep; return observables.
+
+    Everything recorded is deterministic: predictions/bounds are exact
+    linear algebra over simulated float32 voltage maps, the screened
+    ranking is a stable argsort, and no wall-clock field enters the
+    fixture.
+    """
+    from repro.experiments.config import ChipConfig, DataConfig
+    from repro.experiments.data_generation import build_chip
+    from repro.surrogate import ScenarioSpace, SweepConfig, run_sweep
+
+    chip = build_chip(ChipConfig(**SURROGATE_CHIP))
+    data = DataConfig(**SURROGATE_DATA)
+    space = ScenarioSpace(benchmarks=SURROGATE_DATA["benchmarks"])
+    result = run_sweep(chip, space, data, SweepConfig(**SURROGATE_SWEEP))
+
+    return {
+        "scenario": {
+            "chip": dict(SURROGATE_CHIP),
+            "data": {
+                k: list(v) if isinstance(v, tuple) else v
+                for k, v in SURROGATE_DATA.items()
+            },
+            "sweep": dict(SURROGATE_SWEEP),
+            "model": result.config.model,
+            "alpha": result.config.alpha,
+            "guard_margin": result.config.guard_margin,
+        },
+        "n_blocks": result.n_blocks,
+        "fit_error_rms": result.fit_error_rms,
+        "calibration": result.calibration.to_dict(),
+        "coverage": result.coverage,
+        "screen": {
+            "topk_indices": [int(i) for i in result.topk_indices],
+            "pool_scores": [float(s) for s in result.pool_scores],
+            "pool_bounds": [float(b) for b in result.pool_bounds],
+        },
+        "verify": {
+            "rank_agreement": result.rank_agreement,
+            "nominal_violations": result.nominal_violations,
+            "guard_violations": result.guard_violations,
+            "verdicts": [
+                {
+                    "rank": v.rank,
+                    "scenario": v.scenario.key(),
+                    "predicted_worst": v.predicted_worst,
+                    "bound_worst": v.bound_worst,
+                    "exact_worst": v.exact_worst,
+                    "nominal_violations": v.nominal_violations,
+                    "guard_violations": v.guard_violations,
+                }
+                for v in result.verdicts
+            ],
+        },
+        "exact_pool": {
+            "exact_scores": [float(s) for s in result.exact_scores],
+            "true_worst_index": int(np.argmax(result.exact_scores)),
+            "recall_at_k": result.recall_at_k(),
+            "worst_case_hit": bool(result.worst_case_hit()),
+        },
+    }
+
+
 def main() -> None:
     golden = build_golden()
     with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
@@ -191,6 +277,18 @@ def main() -> None:
     print(
         "  ranking: "
         + " > ".join(e["placer"] for e in leaderboard["entries"])
+    )
+
+    surrogate = build_surrogate_golden()
+    with open(SURROGATE_GOLDEN_PATH, "w", encoding="utf-8") as fh:
+        json.dump(surrogate, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"golden fixture written to {SURROGATE_GOLDEN_PATH}")
+    print(
+        f"  recall@{surrogate['scenario']['sweep']['top_k']}: "
+        f"{surrogate['exact_pool']['recall_at_k']:.2f}  "
+        f"worst_case_hit: {surrogate['exact_pool']['worst_case_hit']}  "
+        f"guard_violations: {surrogate['verify']['guard_violations']}"
     )
 
 
